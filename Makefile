@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz experiments check examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing bursts over the trace parsers.
+fuzz:
+	$(GO) test ./internal/trace -fuzz=FuzzParseCab -fuzztime=30s
+	$(GO) test ./internal/trace -fuzz=FuzzParseONE -fuzztime=30s
+
+# Regenerate every paper figure + ablations at full scale (~30 min single-core).
+experiments:
+	$(GO) run ./cmd/experiments -run all -seeds 1,2,3 -out results -svg -html results/report.html
+
+# Machine-verify the paper's qualitative claims at full scale.
+check:
+	$(GO) run ./cmd/experiments -run fig3,fig4,fig8copies,fig8buffer,fig8rate,fig9copies,fig9buffer,fig9rate -check -seeds 1,2,3 -no-chart -quiet
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/taxifleet
+	$(GO) run ./examples/disaster
+	$(GO) run ./examples/custompolicy
+	$(GO) run ./examples/figures
+
+clean:
+	rm -rf results figures-out

@@ -1,0 +1,90 @@
+// Benchmarks: one testing.B target per paper artifact. Each regenerates
+// its figure at a reduced scale (Scale/Nodes options) so `go test -bench=.`
+// finishes in minutes; cmd/experiments at default options reproduces the
+// full-scale numbers recorded in EXPERIMENTS.md.
+package sdsrp_test
+
+import (
+	"testing"
+
+	"sdsrp"
+)
+
+// benchOptions shrinks runs while keeping every sweep point and all four
+// paper policies.
+func benchOptions() sdsrp.ExperimentOptions {
+	return sdsrp.ExperimentOptions{
+		Scale:   0.05, // 900 simulated seconds
+		Nodes:   20,
+		Workers: 1, // serial: the benchmark measures simulation cost
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	opts := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		panels, err := sdsrp.RunExperiment(name, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkTable2Scenario measures one full-parameter Table II run
+// (the paper's baseline configuration, SDSRP policy).
+func BenchmarkTable2Scenario(b *testing.B) {
+	sc := sdsrp.RandomWaypointScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdsrp.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Scenario measures one full-parameter Table III run
+// (200-taxi EPFL substitute, SDSRP policy).
+func BenchmarkTable3Scenario(b *testing.B) {
+	sc := sdsrp.EPFLScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdsrp.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 3: intermeeting-time distributions (both mobility scenarios).
+func BenchmarkFig3Intermeeting(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Fig. 4: the priority curve (pure math; no simulation).
+func BenchmarkFig4PriorityCurve(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Fig. 8 (a)–(c): RWP metrics vs initial copies.
+func BenchmarkFig8Copies(b *testing.B) { benchExperiment(b, "fig8copies") }
+
+// Fig. 8 (d)–(f): RWP metrics vs buffer size.
+func BenchmarkFig8Buffer(b *testing.B) { benchExperiment(b, "fig8buffer") }
+
+// Fig. 8 (g)–(i): RWP metrics vs message generation rate.
+func BenchmarkFig8Rate(b *testing.B) { benchExperiment(b, "fig8rate") }
+
+// Fig. 9 (a)–(c): EPFL metrics vs initial copies.
+func BenchmarkFig9Copies(b *testing.B) { benchExperiment(b, "fig9copies") }
+
+// Fig. 9 (d)–(f): EPFL metrics vs buffer size.
+func BenchmarkFig9Buffer(b *testing.B) { benchExperiment(b, "fig9buffer") }
+
+// Fig. 9 (g)–(i): EPFL metrics vs message generation rate.
+func BenchmarkFig9Rate(b *testing.B) { benchExperiment(b, "fig9rate") }
+
+// DESIGN.md §8 ablations.
+func BenchmarkAblationRate(b *testing.B)     { benchExperiment(b, "ablation-rate") }
+func BenchmarkAblationDropList(b *testing.B) { benchExperiment(b, "ablation-droplist") }
+func BenchmarkAblationTaylor(b *testing.B)   { benchExperiment(b, "ablation-taylor") }
+func BenchmarkAblationOracle(b *testing.B)   { benchExperiment(b, "ablation-oracle") }

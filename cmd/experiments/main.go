@@ -1,0 +1,170 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Every experiment prints its panels as a markdown table plus an ASCII
+// chart; -out additionally writes per-panel TSV files for external
+// plotting.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run fig8copies
+//	experiments -run all -scale 0.25 -nodes 50   # quick pass
+//	experiments -run fig9buffer -seeds 1,2,3 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdsrp"
+	"sdsrp/internal/experiment"
+	"sdsrp/internal/report"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment name or \"all\"")
+		scale   = flag.Float64("scale", 1, "duration/TTL multiplier (<1 for quick runs)")
+		nodes   = flag.Int("nodes", 0, "node-count override (0 = paper values)")
+		seeds   = flag.String("seeds", "1", "comma-separated seeds to average over")
+		workers = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		outDir  = flag.String("out", "", "directory for per-panel TSV files")
+		svg     = flag.Bool("svg", false, "also write per-panel SVG charts (needs -out)")
+		html    = flag.String("html", "", "write a single self-contained HTML report to this path")
+		noChart = flag.Bool("no-chart", false, "suppress ASCII charts")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		check   = flag.Bool("check", false, "after regenerating, verify the paper's qualitative claims (exit 1 on violation; calibrated to full scale)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, s := range sdsrp.Experiments() {
+			fmt.Printf("  %-18s %s\n", s.Name, s.Desc)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <name> or -run all")
+		}
+		return
+	}
+
+	opts := sdsrp.ExperimentOptions{
+		Scale:   *scale,
+		Nodes:   *nodes,
+		Workers: *workers,
+	}
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fatal("bad -seeds %q: %v", *seeds, err)
+		}
+		opts.Seeds = append(opts.Seeds, v)
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	var names []string
+	if *run == "all" {
+		for _, s := range sdsrp.Experiments() {
+			names = append(names, s.Name)
+		}
+	} else {
+		names = strings.Split(*run, ",")
+	}
+
+	var sections []report.Section
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s ==\n", name)
+		}
+		start := time.Now()
+		panels, err := sdsrp.RunExperiment(name, opts)
+		if err != nil {
+			fatal("%s: %v", name, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+		if *html != "" {
+			spec, _ := experiment.ByName(name)
+			sections = append(sections, report.Section{Title: name, Note: spec.Desc, Panels: panels})
+		}
+		if *check && isCheckable(name) {
+			if violations := experiment.CheckShapes(name, panels); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "SHAPE VIOLATION:", v)
+				}
+				defer os.Exit(1)
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "  shapes OK for %s\n", name)
+			}
+		}
+		for i := range panels {
+			p := &panels[i]
+			if err := p.Validate(); err != nil {
+				fatal("%s: %v", name, err)
+			}
+			fmt.Println(p.Markdown())
+			if !*noChart {
+				fmt.Println(p.Chart(14))
+			}
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					fatal("%v", err)
+				}
+				path := filepath.Join(*outDir, p.ID+".tsv")
+				if err := os.WriteFile(path, []byte(p.TSV()), 0o644); err != nil {
+					fatal("%v", err)
+				}
+				if *svg {
+					spath := filepath.Join(*outDir, p.ID+".svg")
+					if err := os.WriteFile(spath, []byte(p.SVG()), 0o644); err != nil {
+						fatal("%v", err)
+					}
+				}
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+				}
+			}
+		}
+	}
+	if *html != "" {
+		writeHTML(*html, sections)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *html)
+		}
+	}
+}
+
+func isCheckable(name string) bool {
+	for _, n := range experiment.CheckableFigures() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func writeHTML(path string, sections []report.Section) {
+	if err := os.WriteFile(path, []byte(report.HTML("SDSRP paper reproduction", sections)), 0o644); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Custompolicy shows how to plug a user-defined buffer-management strategy
+// into the comparison harness. The example policy, "MyKnapsack", ranks
+// messages by the paper's Eq. 10 utility divided by message size — the
+// same value-density idea as the built-in Knapsack policy (inspired by the
+// authors' EWSN 2015 follow-up, reference [11] of the paper), rebuilt here
+// from scratch to demonstrate the extension API.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdsrp"
+	"sdsrp/internal/core"
+)
+
+// knapsack scores a message by its Eq. 10 marginal delivery utility per
+// megabyte of buffer it occupies.
+type knapsack struct{}
+
+func (knapsack) Name() string { return "MyKnapsack" }
+
+func (knapsack) SendScore(v sdsrp.PolicyView, s *sdsrp.Stored) float64 {
+	return knapsackScore(v, s)
+}
+
+func (knapsack) DropScore(v sdsrp.PolicyView, s *sdsrp.Stored) float64 {
+	return knapsackScore(v, s)
+}
+
+func knapsackScore(v sdsrp.PolicyView, s *sdsrp.Stored) float64 {
+	lambda := v.Lambda()
+	if lambda <= 0 {
+		return s.M.Remaining(v.Now())
+	}
+	u := core.Priority(v.SeenEstimate(s), v.LiveEstimate(s), s.Copies,
+		s.M.Remaining(v.Now()), v.Nodes(), lambda)
+	return u / (float64(s.M.Size) / 1e6)
+}
+
+func main() {
+	if err := sdsrp.RegisterPolicy("MyKnapsack", func(*sdsrp.RandomStream) sdsrp.Policy {
+		return knapsack{}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []string{"SprayAndWait", "SDSRP", "MyKnapsack"}
+	var scs []sdsrp.Scenario
+	for _, pol := range policies {
+		sc := sdsrp.RandomWaypointScenario()
+		sc.Nodes = 40
+		sc.Area.Max.X, sc.Area.Max.Y = 2800, 2200
+		sc.Duration, sc.TTL = 6000, 6000
+		sc.PolicyName = pol
+		scs = append(scs, sc)
+	}
+	results, err := sdsrp.RunAll(scs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("custom policy vs built-ins (40-node RWP, uniform 0.5 MB messages)")
+	fmt.Printf("%-14s %10s %10s %10s\n", "policy", "delivery", "hopcounts", "overhead")
+	for i, pol := range policies {
+		r := results[i]
+		fmt.Printf("%-14s %10.4f %10.3f %10.2f\n", pol, r.DeliveryRatio, r.AvgHops, r.OverheadRatio)
+	}
+	fmt.Println("\nWith uniform message sizes MyKnapsack ranks like SDSRP up to the")
+	fmt.Println("size constant (it differs only through the dropped-list machinery")
+	fmt.Println("reserved for built-ins), so the metrics land close together; the")
+	fmt.Println("point is the three-line integration, not the win.")
+}

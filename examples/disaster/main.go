@@ -1,0 +1,96 @@
+// Disaster models the paper's motivating disaster-response setting: search
+// teams with short-range radios sweep a cordoned area (random-walk
+// mobility), reporting every few seconds through a storage-starved DTN.
+// It sweeps the per-device buffer from 1 MB to 4 MB and shows how SDSRP's
+// scheduling-and-drop priority stretches scarce storage compared with the
+// plain FIFO Spray-and-Wait.
+//
+//	go run ./examples/disaster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdsrp"
+	"sdsrp/internal/config"
+	"sdsrp/internal/report"
+)
+
+func main() {
+	base := sdsrp.RandomWaypointScenario()
+	base.Name = "disaster"
+	base.Area.Max.X, base.Area.Max.Y = 1800, 1500 // the cordoned zone
+	// A heterogeneous response force: search teams sweeping on foot, a few
+	// vehicles circling the perimeter, and static command posts acting as
+	// big-buffer relays.
+	base.Groups = []config.Group{
+		{Name: "searchers", Count: 30, Mobility: sdsrp.Mobility{
+			Kind:    config.MobilityRandomWalk,
+			SpeedLo: 1, SpeedHi: 3, // on foot, over rubble
+			EpochDist: 150, // sweep legs
+		}},
+		{Name: "vehicles", Count: 4, Mobility: sdsrp.Mobility{
+			Kind:    config.MobilityRandomDirection,
+			SpeedLo: 6, SpeedHi: 10, PauseLo: 10, PauseHi: 60,
+		}},
+		{Name: "command-posts", Count: 2, Mobility: sdsrp.Mobility{
+			Kind: config.MobilityStatic,
+		}, BufferBytes: 8 * sdsrp.MB},
+	}
+	base.Duration = 7200 // a two-hour operation
+	base.TTL = 3600      // situation reports go stale after an hour
+	base.GenIntervalLo, base.GenIntervalHi = 8, 15
+	base.InitialCopies = 16
+	base.PriorMeanIntermeeting = 3000
+
+	buffers := []float64{1, 1.5, 2, 3, 4} // MB
+	policies := []string{"SprayAndWait", "SDSRP"}
+
+	var scs []sdsrp.Scenario
+	for _, pol := range policies {
+		for _, mb := range buffers {
+			sc := base
+			sc.PolicyName = pol
+			sc.BufferBytes = int64(mb * float64(sdsrp.MB))
+			scs = append(scs, sc)
+		}
+	}
+	results, err := sdsrp.RunAll(scs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mkPanel := func(id, ylabel string, get func(sdsrp.Result) float64) sdsrp.Panel {
+		p := sdsrp.Panel{
+			ID:     id,
+			Title:  "Situation reports vs device buffer",
+			XLabel: "buffer (MB)",
+			YLabel: ylabel,
+			X:      buffers,
+		}
+		for pi, pol := range policies {
+			var c sdsrp.Curve
+			c.Label = pol
+			for bi := range buffers {
+				c.Y = append(c.Y, get(results[pi*len(buffers)+bi]))
+			}
+			p.Curves = append(p.Curves, c)
+		}
+		return p
+	}
+	delivery := mkPanel("disaster-delivery", "delivery ratio",
+		func(r sdsrp.Result) float64 { return r.DeliveryRatio })
+	overhead := mkPanel("disaster-overhead", "overhead ratio",
+		func(r sdsrp.Result) float64 { return r.OverheadRatio })
+
+	fmt.Println(delivery.Markdown())
+	fmt.Println(delivery.Chart(12))
+	fmt.Println(overhead.Markdown())
+	dGain := report.Mean(delivery.Curves[1].Y) - report.Mean(delivery.Curves[0].Y)
+	oGain := report.Mean(overhead.Curves[0].Y) - report.Mean(overhead.Curves[1].Y)
+	fmt.Printf("SDSRP vs FIFO across buffers: delivery %+.4f, overhead saved %+.2f\n", dGain, oGain)
+	fmt.Println("With static command posts in the mix, delivery lands near parity;")
+	fmt.Println("SDSRP's win here is radio economy — far fewer wasted forwards per")
+	fmt.Println("delivered report, which is battery life in the field.")
+}

@@ -1,0 +1,49 @@
+// Figures regenerates a slice of the paper's evaluation through the public
+// experiment API and renders each panel three ways: markdown table, ASCII
+// chart, and an SVG file under ./figures-out.
+//
+// The run is scaled down (-like options) so it finishes in under a minute;
+// cmd/experiments reproduces the full-scale figures.
+//
+//	go run ./examples/figures
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sdsrp"
+)
+
+func main() {
+	outDir := "figures-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := sdsrp.ExperimentOptions{
+		Scale: 0.15, // ~2700 simulated seconds per run
+		Nodes: 40,
+	}
+
+	for _, name := range []string{"fig4", "fig8buffer"} {
+		fmt.Printf("== regenerating %s (scaled) ==\n\n", name)
+		panels, err := sdsrp.RunExperiment(name, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range panels {
+			p := &panels[i]
+			fmt.Println(p.Markdown())
+			fmt.Println(p.Chart(10))
+			path := filepath.Join(outDir, p.ID+".svg")
+			if err := os.WriteFile(path, []byte(p.SVG()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	fmt.Println("open the SVGs in any browser; run cmd/experiments for full scale")
+}

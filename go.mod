@@ -1,0 +1,3 @@
+module sdsrp
+
+go 1.22

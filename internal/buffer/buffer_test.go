@@ -1,0 +1,187 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdsrp/internal/msg"
+)
+
+func mk(id msg.ID, size int64) *msg.Stored {
+	m := &msg.Message{ID: id, Size: size, TTL: 1000, InitialCopies: 4}
+	return msg.NewSourceCopy(m)
+}
+
+func TestEmpty(t *testing.T) {
+	b := New(1000)
+	if b.Len() != 0 || b.Used() != 0 || b.Free() != 1000 || b.Capacity() != 1000 {
+		t.Fatalf("empty buffer state wrong: %d %d %d", b.Len(), b.Used(), b.Free())
+	}
+	if b.Oldest() != nil {
+		t.Fatal("Oldest on empty buffer not nil")
+	}
+	if b.Remove(1) != nil {
+		t.Fatal("Remove on empty buffer not nil")
+	}
+}
+
+func TestAddAccounting(t *testing.T) {
+	b := New(1000)
+	if err := b.Add(mk(1, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(mk(2, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 1000 || b.Free() != 0 || b.Len() != 2 {
+		t.Fatalf("state after fills: used=%d free=%d len=%d", b.Used(), b.Free(), b.Len())
+	}
+	if !b.Has(1) || !b.Has(2) || b.Has(3) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestAddOverflowRejected(t *testing.T) {
+	b := New(500)
+	if err := b.Add(mk(1, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(mk(2, 101)); err == nil {
+		t.Fatal("overflow Add succeeded")
+	}
+	if b.Len() != 1 || b.Used() != 400 {
+		t.Fatal("failed Add mutated buffer")
+	}
+}
+
+func TestAddDuplicateRejected(t *testing.T) {
+	b := New(1000)
+	if err := b.Add(mk(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(mk(1, 100)); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	b := New(1000)
+	b.Add(mk(1, 100))
+	b.Add(mk(2, 200))
+	b.Add(mk(3, 300))
+	s := b.Remove(2)
+	if s == nil || s.M.ID != 2 {
+		t.Fatalf("Remove returned %v", s)
+	}
+	if b.Used() != 400 || b.Len() != 2 {
+		t.Fatalf("after remove: used=%d len=%d", b.Used(), b.Len())
+	}
+	// Order preserved; index still valid.
+	items := b.Items()
+	if items[0].M.ID != 1 || items[1].M.ID != 3 {
+		t.Fatalf("order after remove: %v %v", items[0].M.ID, items[1].M.ID)
+	}
+	if got := b.Get(3); got == nil || got.M.ID != 3 {
+		t.Fatal("index corrupted after remove")
+	}
+}
+
+func TestInsertionOrderAndOldest(t *testing.T) {
+	b := New(10000)
+	for id := msg.ID(1); id <= 5; id++ {
+		b.Add(mk(id, 10))
+	}
+	if b.Oldest().M.ID != 1 {
+		t.Fatalf("Oldest = %d", b.Oldest().M.ID)
+	}
+	b.Remove(1)
+	if b.Oldest().M.ID != 2 {
+		t.Fatalf("Oldest after remove = %d", b.Oldest().M.ID)
+	}
+}
+
+func TestFits(t *testing.T) {
+	b := New(100)
+	if !b.Fits(100) || b.Fits(101) {
+		t.Fatal("Fits wrong on empty")
+	}
+	b.Add(mk(1, 60))
+	if !b.Fits(40) || b.Fits(41) {
+		t.Fatal("Fits wrong after add")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	b := New(10000)
+	m1 := &msg.Message{ID: 1, Size: 10, Created: 0, TTL: 50}
+	m2 := &msg.Message{ID: 2, Size: 10, Created: 0, TTL: 500}
+	b.Add(msg.NewSourceCopy(m1))
+	b.Add(msg.NewSourceCopy(m2))
+	dead := b.Expired(100, nil)
+	if len(dead) != 1 || dead[0].M.ID != 1 {
+		t.Fatalf("Expired = %v", dead)
+	}
+	if len(b.Expired(10, nil)) != 0 {
+		t.Fatal("Expired reported live message")
+	}
+}
+
+// Property: any sequence of adds and removes keeps Used equal to the sum of
+// stored sizes, keeps the index consistent, and never exceeds capacity.
+func TestPropertyAccountingInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := New(5000)
+		live := map[msg.ID]int64{}
+		nextID := msg.ID(1)
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				size := int64(op%900) + 1
+				if b.Fits(size) {
+					if b.Add(mk(nextID, size)) != nil {
+						return false
+					}
+					live[nextID] = size
+					nextID++
+				}
+			} else {
+				// Remove some live id (map iteration order is fine here).
+				for id := range live {
+					if b.Remove(id) == nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+			}
+			var sum int64
+			for _, sz := range live {
+				sum += sz
+			}
+			if b.Used() != sum || b.Used() > b.Capacity() || b.Len() != len(live) {
+				return false
+			}
+			for id := range live {
+				got := b.Get(id)
+				if got == nil || got.M.ID != id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	buf := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := msg.ID(i % 64)
+		if buf.Has(id) {
+			buf.Remove(id)
+		}
+		buf.Add(mk(id, 1024))
+	}
+}

@@ -1,0 +1,115 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRandomWaypointPresetMatchesTableII(t *testing.T) {
+	sc := RandomWaypoint()
+	if sc.Duration != 18000 {
+		t.Fatalf("duration = %v", sc.Duration)
+	}
+	if sc.Area.W() != 4500 || sc.Area.H() != 3400 {
+		t.Fatalf("area = %v", sc.Area)
+	}
+	if sc.Nodes != 100 {
+		t.Fatalf("nodes = %d", sc.Nodes)
+	}
+	if sc.Mobility.SpeedLo != 2 || sc.Mobility.SpeedHi != 2 {
+		t.Fatalf("speed = [%v,%v]", sc.Mobility.SpeedLo, sc.Mobility.SpeedHi)
+	}
+	if sc.Bandwidth != 31250 { // 250 kbit/s
+		t.Fatalf("bandwidth = %v", sc.Bandwidth)
+	}
+	if sc.Range != 100 {
+		t.Fatalf("range = %v", sc.Range)
+	}
+	if sc.BufferBytes != 2_500_000 {
+		t.Fatalf("buffer = %d", sc.BufferBytes)
+	}
+	if sc.MessageSize != 500_000 {
+		t.Fatalf("message size = %d", sc.MessageSize)
+	}
+	if sc.GenIntervalLo != 25 || sc.GenIntervalHi != 35 {
+		t.Fatalf("gen interval = [%v,%v]", sc.GenIntervalLo, sc.GenIntervalHi)
+	}
+	if sc.TTL != 18000 { // 300 min
+		t.Fatalf("ttl = %v", sc.TTL)
+	}
+	if sc.InitialCopies != 32 {
+		t.Fatalf("copies = %d", sc.InitialCopies)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+}
+
+func TestEPFLPresetMatchesTableIII(t *testing.T) {
+	sc := EPFL()
+	if sc.Nodes != 200 {
+		t.Fatalf("nodes = %d", sc.Nodes)
+	}
+	if sc.Mobility.Kind != MobilityTaxi {
+		t.Fatalf("kind = %v", sc.Mobility.Kind)
+	}
+	if sc.Duration != 18000 || sc.TTL != 18000 {
+		t.Fatalf("duration/ttl = %v/%v", sc.Duration, sc.TTL)
+	}
+	if sc.BufferBytes != 2_500_000 || sc.MessageSize != 500_000 {
+		t.Fatal("buffer/message sizes differ from Table III")
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	break3 := func(mut func(*Scenario)) error {
+		sc := RandomWaypoint()
+		mut(&sc)
+		return sc.Validate()
+	}
+	cases := map[string]func(*Scenario){
+		"duration":      func(s *Scenario) { s.Duration = 0 },
+		"nodes":         func(s *Scenario) { s.Nodes = 1 },
+		"range":         func(s *Scenario) { s.Range = -1 },
+		"bandwidth":     func(s *Scenario) { s.Bandwidth = 0 },
+		"scan":          func(s *Scenario) { s.ScanInterval = 0 },
+		"message size":  func(s *Scenario) { s.MessageSize = 0 },
+		"buffer":        func(s *Scenario) { s.BufferBytes = 100 },
+		"ttl":           func(s *Scenario) { s.TTL = 0 },
+		"gen interval":  func(s *Scenario) { s.GenIntervalLo, s.GenIntervalHi = 30, 20 },
+		"copies":        func(s *Scenario) { s.InitialCopies = 0 },
+		"expiry":        func(s *Scenario) { s.ExpiryInterval = 0 },
+		"speed":         func(s *Scenario) { s.Mobility.SpeedLo, s.Mobility.SpeedHi = 0, 0 },
+		"mobility kind": func(s *Scenario) { s.Mobility.Kind = "hovercraft" },
+		"trace dir":     func(s *Scenario) { s.Mobility = Mobility{Kind: MobilityTraceDir} },
+	}
+	for name, mut := range cases {
+		if err := break3(mut); err == nil {
+			t.Fatalf("Validate accepted broken %s", name)
+		}
+	}
+}
+
+func TestValidateJoinsMultipleErrors(t *testing.T) {
+	sc := RandomWaypoint()
+	sc.Duration = 0
+	sc.Range = 0
+	err := sc.Validate()
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "duration") || !strings.Contains(err.Error(), "range") {
+		t.Fatalf("errors not joined: %v", err)
+	}
+}
+
+func TestTrafficCanBeDisabled(t *testing.T) {
+	sc := RandomWaypoint()
+	sc.GenIntervalLo = 0
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("traffic-free scenario rejected: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MarshalJSON output is the plain struct encoding; these helpers exist so
+// command-line tools and test fixtures can persist scenarios.
+
+// Save writes the scenario as indented JSON to path.
+func Save(sc Scenario, path string) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// Load reads a scenario from a JSON file written by Save (or by hand).
+// Unknown fields are rejected to catch typos; the result is validated.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes a scenario from JSON bytes with strict field checking and
+// validates it.
+func Parse(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,61 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	sc := EPFL()
+	sc.Seed = 42
+	sc.PolicyName = "SprayAndWait-O"
+	if err := Save(sc, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.PolicyName != "SprayAndWait-O" || got.Nodes != sc.Nodes {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Mobility.Kind != MobilityTaxi {
+		t.Fatalf("mobility kind = %v", got.Mobility.Kind)
+	}
+	if len(got.Mobility.Taxi.Hotspots) != len(sc.Mobility.Taxi.Hotspots) {
+		t.Fatal("hotspots lost")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	os.WriteFile(path, []byte(`{"Name":"x","Bufersize":5}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadRejectsInvalidScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "invalid.json")
+	os.WriteFile(path, []byte(`{"Name":"x"}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

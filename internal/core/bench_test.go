@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"sdsrp/internal/msg"
+)
+
+// Micro-benchmarks for the hot SDSRP paths: the Eq. 10 priority is
+// evaluated for every buffered message at every scheduling decision, and
+// the drop-table merge runs twice per contact.
+
+func BenchmarkPriority(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Priority(float64(i%90), float64(i%20+1), 1+i%64, 9000, 100, 1.0/21000)
+	}
+	_ = sink
+}
+
+func BenchmarkTaylorPriority(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += TaylorPriority(0.3, 0.5, float64(i%20+1), 3)
+	}
+	_ = sink
+}
+
+func BenchmarkEstimateSeen(b *testing.B) {
+	history := []float64{100, 400, 900, 1600, 2500}
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += EstimateSeen(history, 2, float64(3000+i%100), 220, 100)
+	}
+	_ = sink
+}
+
+func BenchmarkDropTableMerge(b *testing.B) {
+	// A realistic mid-run state: 100 owners, a few hundred drops each side.
+	mk := func(self int) *DropTable {
+		t := NewDropTable(self)
+		for owner := 0; owner < 100; owner++ {
+			if owner == self {
+				continue
+			}
+			src := NewDropTable(owner)
+			for k := 0; k < 6; k++ {
+				src.RecordDrop(msg.ID(owner*10+k), float64(owner+k))
+			}
+			t.MergeFrom(src)
+		}
+		return t
+	}
+	a, bb := mk(0), mk(1)
+	for k := 0; k < 50; k++ {
+		a.RecordDrop(msg.ID(5000+k), float64(k))
+		bb.RecordDrop(msg.ID(6000+k), float64(k))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MergeFrom(bb)
+		bb.MergeFrom(a)
+	}
+}
+
+func BenchmarkCensusEstimator(b *testing.B) {
+	e := NewCensusEstimator(20000, 1, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.OnContactStart(i%99, float64(i))
+		_ = e.Lambda()
+	}
+}

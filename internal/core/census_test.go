@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sdsrp/internal/rng"
+)
+
+func TestCensusEstimatorPriorOnly(t *testing.T) {
+	e := NewCensusEstimator(20000, 1, 100)
+	if got := e.MeanI(); math.Abs(got-20000) > 1e-9 {
+		t.Fatalf("MeanI = %v, want prior", got)
+	}
+	if e.Samples() != 0 {
+		t.Fatal("prior counted as contacts")
+	}
+	if e.Lambda() <= 0 {
+		t.Fatal("prior lambda not positive")
+	}
+}
+
+func TestCensusEstimatorRate(t *testing.T) {
+	// 99 peers, one contact every 100 s: any-peer rate 0.01/s, so the
+	// pairwise mean intermeeting is 99/0.01 = 9900 s. Use a weightless
+	// prior to test the raw rate.
+	e := NewCensusEstimator(0, 0, 100)
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += 100
+		e.OnContactStart(i%99, now)
+		e.OnContactEnd(i%99, now+5)
+	}
+	if got := e.MeanI(); math.Abs(got-9900) > 9900*0.05 {
+		t.Fatalf("MeanI = %v, want ~9900", got)
+	}
+	if got := e.EIMin(100); math.Abs(got-100) > 10 {
+		t.Fatalf("EIMin = %v, want ~100 (the contact period)", got)
+	}
+}
+
+func TestCensusEstimatorBlendsAwayFromPrior(t *testing.T) {
+	e := NewCensusEstimator(99999, 2, 50)
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		now += 10
+		e.OnContactStart(i%49, now)
+	}
+	// True any-peer period 10 s → pairwise mean 490 s; the wild prior must
+	// be overwhelmed.
+	if got := e.MeanI(); math.Abs(got-490) > 490*0.1 {
+		t.Fatalf("MeanI = %v, want ~490", got)
+	}
+}
+
+// The motivating bias: in a finite window, gap-averaging only sees the
+// short intermeetings while the census stays near the truth.
+func TestCensusUnbiasedWhereGapAverageIsCensored(t *testing.T) {
+	s := rng.New(3)
+	const (
+		nodes    = 100
+		trueMean = 22000.0 // pairwise E(I) well beyond the window
+		window   = 18000.0
+	)
+	gap := NewLambdaEstimator(0, 0)
+	census := NewCensusEstimator(0, 0, nodes)
+	// Simulate one node's contact process: each of the 99 pairs meets as a
+	// Poisson process of rate 1/trueMean, truncated to the window.
+	for peer := 0; peer < nodes-1; peer++ {
+		now := s.Exp(trueMean)
+		for now < window {
+			gap.OnContactStart(peer, now)
+			census.OnContactStart(peer, now)
+			gap.OnContactEnd(peer, now)
+			census.OnContactEnd(peer, now)
+			now += s.Exp(trueMean)
+		}
+	}
+	censusErr := math.Abs(census.MeanI() - trueMean)
+	if censusErr > trueMean*0.5 {
+		t.Fatalf("census MeanI = %v, want within 50%% of %v", census.MeanI(), trueMean)
+	}
+	if gap.Samples() > 0 {
+		gapErr := math.Abs(gap.MeanI() - trueMean)
+		if gapErr < censusErr {
+			t.Fatalf("expected censored gap average (got %v) to be worse than census (%v)",
+				gap.MeanI(), census.MeanI())
+		}
+		if gap.MeanI() > trueMean*0.75 {
+			t.Fatalf("gap average %v not visibly censored below %v", gap.MeanI(), trueMean)
+		}
+	}
+}
+
+func TestCensusEstimatorDegenerate(t *testing.T) {
+	e := NewCensusEstimator(0, 0, 1) // N-1 = 0
+	if e.MeanI() != 0 {
+		t.Fatalf("MeanI = %v for single-node network, want prior 0", e.MeanI())
+	}
+	if (NewCensusEstimator(0, 0, 100)).Lambda() != 0 {
+		t.Fatal("no-information lambda not 0")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import "sdsrp/internal/msg"
+
+// DropRecord is one node's dropped-message record (paper Fig. 5): the set of
+// messages that node has evicted, stamped with the time of its latest drop.
+// Only the owner mutates its record; everyone else caches and forwards it.
+type DropRecord struct {
+	Owner int
+	Time  float64 // generation time of the record: the owner's latest drop
+	Set   map[msg.ID]struct{}
+}
+
+// clone returns a deep copy; merged-in records are cached by reference to
+// the gossip payload, so the owner's live record must never be shared.
+func (r *DropRecord) clone() *DropRecord {
+	c := &DropRecord{Owner: r.Owner, Time: r.Time, Set: make(map[msg.ID]struct{}, len(r.Set))}
+	for id := range r.Set {
+		c.Set[id] = struct{}{}
+	}
+	return c
+}
+
+// DropTable is a node's view of every node's drop record, gossiped on
+// contact. It answers two questions for SDSRP:
+//
+//   - d̂_i (DroppedCount): how many nodes are known to have dropped message
+//     i, feeding n_i via Eq. 14;
+//   - RejectsIncoming: whether this node itself has dropped i and must
+//     refuse to receive it again ("nodes reject receiving the message
+//     already in their dropped lists").
+type DropTable struct {
+	self    int
+	records map[int]*DropRecord // owner -> newest known record
+	counts  map[msg.ID]int      // message -> #owners whose set contains it
+}
+
+// NewDropTable returns an empty table for node self.
+func NewDropTable(self int) *DropTable {
+	return &DropTable{
+		self:    self,
+		records: make(map[int]*DropRecord),
+		counts:  make(map[msg.ID]int),
+	}
+}
+
+// RecordDrop registers that this node evicted message id at time now,
+// updating its own record's generation time (only the owner may do this).
+func (t *DropTable) RecordDrop(id msg.ID, now float64) {
+	rec := t.records[t.self]
+	if rec == nil {
+		rec = &DropRecord{Owner: t.self, Set: make(map[msg.ID]struct{})}
+		t.records[t.self] = rec
+	}
+	rec.Time = now
+	if _, dup := rec.Set[id]; !dup {
+		rec.Set[id] = struct{}{}
+		t.counts[id]++
+	}
+}
+
+// MergeFrom absorbs every record in the peer's table that is newer than the
+// locally cached copy for the same owner, following the Fig. 5 update rule
+// (keep the record with the latest record time; a node's own record is
+// authoritative and never overwritten by gossip).
+func (t *DropTable) MergeFrom(peer *DropTable) {
+	for owner, rec := range peer.records {
+		if owner == t.self {
+			continue
+		}
+		cur := t.records[owner]
+		if cur != nil && cur.Time >= rec.Time {
+			continue
+		}
+		if cur != nil {
+			for id := range cur.Set {
+				t.counts[id]--
+				if t.counts[id] == 0 {
+					delete(t.counts, id)
+				}
+			}
+		}
+		cp := rec.clone()
+		t.records[owner] = cp
+		for id := range cp.Set {
+			t.counts[id]++
+		}
+	}
+}
+
+// DroppedCount returns d̂_i: the number of distinct nodes known to have
+// dropped message id.
+func (t *DropTable) DroppedCount(id msg.ID) int { return t.counts[id] }
+
+// RejectsIncoming reports whether this node previously dropped id itself
+// and therefore refuses to store it again.
+func (t *DropTable) RejectsIncoming(id msg.ID) bool {
+	rec := t.records[t.self]
+	if rec == nil {
+		return false
+	}
+	_, ok := rec.Set[id]
+	return ok
+}
+
+// Forget removes all knowledge of id (used when a message expires globally:
+// its records can no longer influence any decision). Calling Forget for a
+// live message would corrupt d̂_i, so callers gate it on TTL expiry.
+func (t *DropTable) Forget(id msg.ID) {
+	for _, rec := range t.records {
+		delete(rec.Set, id)
+	}
+	delete(t.counts, id)
+}
+
+// Records returns the number of owner records known (diagnostics).
+func (t *DropTable) Records() int { return len(t.records) }

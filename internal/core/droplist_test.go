@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdsrp/internal/msg"
+)
+
+func TestDropTableOwnRecord(t *testing.T) {
+	dt := NewDropTable(3)
+	if dt.RejectsIncoming(1) || dt.DroppedCount(1) != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	dt.RecordDrop(1, 100)
+	if !dt.RejectsIncoming(1) {
+		t.Fatal("own drop not rejected")
+	}
+	if dt.DroppedCount(1) != 1 {
+		t.Fatalf("DroppedCount = %d", dt.DroppedCount(1))
+	}
+	// Duplicate drop does not double-count.
+	dt.RecordDrop(1, 200)
+	if dt.DroppedCount(1) != 1 {
+		t.Fatalf("DroppedCount after dup = %d", dt.DroppedCount(1))
+	}
+}
+
+func TestDropTableGossip(t *testing.T) {
+	a := NewDropTable(1)
+	b := NewDropTable(2)
+	a.RecordDrop(10, 50)
+	b.MergeFrom(a)
+	if b.DroppedCount(10) != 1 {
+		t.Fatalf("b count = %d after merge", b.DroppedCount(10))
+	}
+	// b did not drop 10 itself, so it does not reject it.
+	if b.RejectsIncoming(10) {
+		t.Fatal("b rejects a message it never dropped")
+	}
+	// a learns of b's drops too.
+	b.RecordDrop(11, 60)
+	a.MergeFrom(b)
+	if a.DroppedCount(11) != 1 || a.DroppedCount(10) != 1 {
+		t.Fatalf("a counts = %d,%d", a.DroppedCount(10), a.DroppedCount(11))
+	}
+}
+
+func TestDropTableNewestRecordWins(t *testing.T) {
+	a := NewDropTable(1)
+	b := NewDropTable(2)
+	c := NewDropTable(3)
+
+	a.RecordDrop(10, 50)
+	b.MergeFrom(a) // b caches a@50 with {10}
+	a.RecordDrop(11, 80)
+	c.MergeFrom(a) // c caches a@80 with {10,11}
+
+	// b has the stale record; merging from c upgrades it.
+	b.MergeFrom(c)
+	if b.DroppedCount(11) != 1 {
+		t.Fatal("newer record did not propagate through intermediary")
+	}
+	// Merging the stale copy back into c must not regress it.
+	c.MergeFrom(b)
+	if c.DroppedCount(11) != 1 {
+		t.Fatal("stale record overwrote newer one")
+	}
+}
+
+func TestDropTableOwnRecordAuthoritative(t *testing.T) {
+	a := NewDropTable(1)
+	b := NewDropTable(2)
+	a.RecordDrop(10, 50)
+	b.MergeFrom(a)
+	// Forge a "newer" record for owner 1 inside b's cache by having b's
+	// table gossiped back; a must keep its own version.
+	a.RecordDrop(11, 60)
+	a.MergeFrom(b)
+	if a.DroppedCount(11) != 1 {
+		t.Fatal("gossip overwrote the owner's own record")
+	}
+	if !a.RejectsIncoming(11) {
+		t.Fatal("own drop lost after merge")
+	}
+}
+
+func TestDropTableMergeIsolation(t *testing.T) {
+	// After a merge, the source mutating its own record must not leak into
+	// the cached copy (records are cloned).
+	a := NewDropTable(1)
+	b := NewDropTable(2)
+	a.RecordDrop(10, 50)
+	b.MergeFrom(a)
+	a.RecordDrop(12, 55)
+	if b.DroppedCount(12) != 0 {
+		t.Fatal("cached record shares storage with the owner's record")
+	}
+}
+
+func TestDropTableCounts(t *testing.T) {
+	tables := make([]*DropTable, 5)
+	for i := range tables {
+		tables[i] = NewDropTable(i)
+	}
+	// Nodes 0,1,2 drop message 7 at different times.
+	tables[0].RecordDrop(7, 10)
+	tables[1].RecordDrop(7, 20)
+	tables[2].RecordDrop(7, 30)
+	// Gossip chain 0->3, 1->3, 2->3.
+	tables[3].MergeFrom(tables[0])
+	tables[3].MergeFrom(tables[1])
+	tables[3].MergeFrom(tables[2])
+	if tables[3].DroppedCount(7) != 3 {
+		t.Fatalf("count = %d, want 3", tables[3].DroppedCount(7))
+	}
+	if tables[3].Records() != 3 {
+		t.Fatalf("records = %d, want 3", tables[3].Records())
+	}
+}
+
+func TestDropTableForget(t *testing.T) {
+	a := NewDropTable(1)
+	b := NewDropTable(2)
+	a.RecordDrop(10, 50)
+	a.RecordDrop(11, 51)
+	b.RecordDrop(10, 60)
+	a.MergeFrom(b)
+	if a.DroppedCount(10) != 2 {
+		t.Fatalf("precondition: count=%d", a.DroppedCount(10))
+	}
+	a.Forget(10)
+	if a.DroppedCount(10) != 0 {
+		t.Fatal("Forget left counts")
+	}
+	if a.DroppedCount(11) != 1 {
+		t.Fatal("Forget removed unrelated message")
+	}
+	if a.RejectsIncoming(10) {
+		t.Fatal("Forget left rejection state")
+	}
+}
+
+// Property: however records are gossiped around, a node's DroppedCount for a
+// message equals the number of distinct owners that dropped it among the
+// records it has seen (eventual consistency of the count derivation).
+func TestPropertyGossipCountConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const nNodes = 6
+		tables := make([]*DropTable, nNodes)
+		for i := range tables {
+			tables[i] = NewDropTable(i)
+		}
+		dropped := make([]map[msg.ID]bool, nNodes) // truth: who dropped what
+		for i := range dropped {
+			dropped[i] = map[msg.ID]bool{}
+		}
+		now := 1.0
+		for _, op := range ops {
+			a := int(op) % nNodes
+			b := int(op>>4) % nNodes
+			if op%3 == 0 {
+				id := msg.ID(op % 7)
+				tables[a].RecordDrop(id, now)
+				dropped[a][id] = true
+			} else if a != b {
+				tables[a].MergeFrom(tables[b])
+				tables[b].MergeFrom(tables[a])
+			}
+			now++
+		}
+		// Fully gossip everything to node 0.
+		for i := 1; i < nNodes; i++ {
+			tables[0].MergeFrom(tables[i])
+		}
+		for id := msg.ID(0); id < 7; id++ {
+			want := 0
+			for i := 0; i < nNodes; i++ {
+				if dropped[i][id] {
+					want++
+				}
+			}
+			if tables[0].DroppedCount(id) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

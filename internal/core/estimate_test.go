@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sdsrp/internal/rng"
+)
+
+func TestLambdaEstimatorPriorOnly(t *testing.T) {
+	e := NewLambdaEstimator(1200, 5)
+	if e.MeanI() != 1200 {
+		t.Fatalf("MeanI = %v, want prior 1200", e.MeanI())
+	}
+	if math.Abs(e.Lambda()-1.0/1200) > 1e-15 {
+		t.Fatalf("Lambda = %v", e.Lambda())
+	}
+	if e.Samples() != 0 {
+		t.Fatal("prior counted as samples")
+	}
+}
+
+func TestLambdaEstimatorSampling(t *testing.T) {
+	e := NewLambdaEstimator(100, 1)
+	// First contact with peer 7: no previous end, no sample.
+	e.OnContactStart(7, 50)
+	e.OnContactEnd(7, 60)
+	if e.Samples() != 0 {
+		t.Fatal("sample harvested from first contact")
+	}
+	// Next contact 140s later: one sample of 140.
+	e.OnContactStart(7, 200)
+	if e.Samples() != 1 {
+		t.Fatalf("Samples = %d, want 1", e.Samples())
+	}
+	// Blend: (100*1 + 140) / 2 = 120.
+	if e.MeanI() != 120 {
+		t.Fatalf("MeanI = %v, want 120", e.MeanI())
+	}
+	e.OnContactEnd(7, 210)
+	e.OnContactStart(7, 270) // sample 60
+	// (100 + 140 + 60) / 3 = 100.
+	if e.MeanI() != 100 {
+		t.Fatalf("MeanI = %v, want 100", e.MeanI())
+	}
+}
+
+func TestLambdaEstimatorPerPeerIndependent(t *testing.T) {
+	e := NewLambdaEstimator(0, 0)
+	e.OnContactEnd(1, 100)
+	e.OnContactEnd(2, 150)
+	e.OnContactStart(1, 300) // sample 200
+	e.OnContactStart(2, 250) // sample 100
+	if e.Samples() != 2 || e.MeanI() != 150 {
+		t.Fatalf("samples=%d mean=%v", e.Samples(), e.MeanI())
+	}
+}
+
+func TestLambdaEstimatorNoInfo(t *testing.T) {
+	e := NewLambdaEstimator(0, 0)
+	if e.MeanI() != 0 || e.Lambda() != 0 {
+		t.Fatal("estimator with no info should return 0")
+	}
+}
+
+func TestLambdaEstimatorConvergesToTruth(t *testing.T) {
+	s := rng.New(44)
+	e := NewLambdaEstimator(9999, 3) // wildly wrong prior, light weight
+	const trueMean = 250.0
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		e.OnContactEnd(1, now)
+		now += s.Exp(trueMean)
+		e.OnContactStart(1, now)
+		now += 10 // contact duration
+	}
+	if math.Abs(e.MeanI()-trueMean) > trueMean*0.05 {
+		t.Fatalf("MeanI = %v, want ~%v", e.MeanI(), trueMean)
+	}
+}
+
+func TestEIMinScaling(t *testing.T) {
+	e := NewLambdaEstimator(990, 1)
+	if got := e.EIMin(100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("EIMin = %v, want 10", got)
+	}
+}
+
+func TestEstimateSeenNoSplits(t *testing.T) {
+	if m := EstimateSeen(nil, 1024, 100, 10, 100); m != 0 {
+		t.Fatalf("m with no splits = %d, want 0", m)
+	}
+}
+
+func TestEstimateSeenSingleSplit(t *testing.T) {
+	// Immediately after the only split, just the sibling is known (Eq. 15's
+	// "+1" term).
+	if m := EstimateSeen([]float64{50}, 1024, 50, 10, 100); m != 1 {
+		t.Fatalf("m = %d, want 1", m)
+	}
+	// One E(I_min) later the sibling's subtree is assumed to have doubled.
+	if m := EstimateSeen([]float64{50}, 1024, 60, 10, 100); m != 2 {
+		t.Fatalf("m = %d, want 2", m)
+	}
+}
+
+func TestEstimateSeenTokenBound(t *testing.T) {
+	// A copy holding C=4 tokens after one split long ago: the sibling
+	// subtree received ~4 tokens, so it can never exceed 4 carriers no
+	// matter how much time passed.
+	if m := EstimateSeen([]float64{0}, 4, 1e6, 10, 100); m != 4 {
+		t.Fatalf("m = %d, want token bound 4", m)
+	}
+	// Two splits, C=4 now: subtrees got ~8 and ~4 tokens; saturation at 12,
+	// well below N-1.
+	if m := EstimateSeen([]float64{0, 5}, 4, 1e6, 10, 100); m != 12 {
+		t.Fatalf("m = %d, want 12", m)
+	}
+	// The saturation level is about L - C_i: a fully aged lineage with
+	// L=32 and C_i=1 has seen ~31 nodes, not N-1.
+	if m := EstimateSeen([]float64{0, 1, 2, 3, 4}, 1, 1e6, 10, 100); m != 31 {
+		t.Fatalf("m = %d, want 31", m)
+	}
+}
+
+func TestEstimateSeenDoubling(t *testing.T) {
+	// Splits at t=0 and t=30, E(Imin)=10, now=30: the t=0 subtree has had
+	// floor(30/10)=3 doublings -> 8 nodes; plus the sibling of the last
+	// split -> 9.
+	if m := EstimateSeen([]float64{0, 30}, 1024, 30, 10, 1000); m != 9 {
+		t.Fatalf("m = %d, want 9", m)
+	}
+	// Immediately after both splits happened back-to-back: 2^0 + 1 = 2.
+	if m := EstimateSeen([]float64{30, 30}, 1024, 30, 10, 1000); m != 2 {
+		t.Fatalf("m = %d, want 2", m)
+	}
+}
+
+func TestEstimateSeenClampedToN(t *testing.T) {
+	// Huge elapsed time: estimate saturates at N-1.
+	if m := EstimateSeen([]float64{0, 1, 2}, 1024, 1e7, 1, 50); m != 49 {
+		t.Fatalf("m = %d, want 49", m)
+	}
+	// Overflow-proof even with pathological EIMin.
+	if m := EstimateSeen([]float64{0, 0, 0}, 1024, 1e12, 1e-9, 100); m != 99 {
+		t.Fatalf("m = %d, want 99", m)
+	}
+}
+
+func TestEstimateSeenLowerClamp(t *testing.T) {
+	// Each split proves at least one recipient: m >= number of splits.
+	if m := EstimateSeen([]float64{10, 11, 12, 13}, 1024, 13, 1000, 100); m < 4 {
+		t.Fatalf("m = %d, want >= 4", m)
+	}
+}
+
+func TestEstimateSeenNoRateInfo(t *testing.T) {
+	if m := EstimateSeen([]float64{1, 2, 3}, 1024, 10, 0, 100); m != 3 {
+		t.Fatalf("m with eiMin=0 = %d, want lineage count 3", m)
+	}
+}
+
+func TestLiveCopies(t *testing.T) {
+	if n := LiveCopies(10, 3, 100); n != 8 {
+		t.Fatalf("n = %d, want 8", n)
+	}
+	// Never below 1 (the holder exists).
+	if n := LiveCopies(2, 10, 100); n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	// Never above N.
+	if n := LiveCopies(200, 0, 100); n != 100 {
+		t.Fatalf("n = %d, want 100", n)
+	}
+}
+
+func TestFixedRate(t *testing.T) {
+	f := FixedRate{Mean: 500}
+	if f.MeanI() != 500 || math.Abs(f.Lambda()-0.002) > 1e-15 {
+		t.Fatal("FixedRate accessors wrong")
+	}
+	if math.Abs(f.EIMin(101)-5) > 1e-12 {
+		t.Fatalf("EIMin = %v", f.EIMin(101))
+	}
+	if (FixedRate{}).Lambda() != 0 {
+		t.Fatal("zero FixedRate Lambda not 0")
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements the SDSRP priority model and its distributed
+// estimators (Wang et al., ICPP 2015, Section III).
+//
+// The exported surface is organized in three layers:
+//
+//   - Pure priority math: Priority (Eq. 10), PriorityFromProbabilities
+//     (Eq. 11), TaylorPriority (Eq. 13), the probability building blocks
+//     ProbDelivered (Eq. 5) and ProbWillDeliver (Eq. 6) and the peak
+//     condition (Eq. 12 / Fig. 4).
+//   - Parameter estimators: LambdaEstimator for the intermeeting rate λ,
+//     EstimateSeen for m_i(T_i) via the binary-spray lineage (Eq. 15 /
+//     Fig. 6).
+//   - DropTable, the gossiped dropped-message records used to estimate
+//     d_i(T_i) (Fig. 5) and hence n_i via Eq. 14.
+package core
+
+import "math"
+
+// PeakPR is the value of P(R_i) at which priority is maximal: 1 − 1/e
+// (paper Eq. 12 discussion and Fig. 4).
+const PeakPR = 1 - 1/math.E
+
+// Exposure is the bracket term shared by Eqs. 6–10:
+//
+//	A(C_i, R_i) = (log2(C_i)+1)·R_i − log2(C_i)·(log2(C_i)+1) / (2(N−1)λ)
+//
+// It aggregates the remaining spray opportunities of a copy with C_i tokens
+// and R_i seconds to live, each spray costing about E(I_min) = 1/((N−1)λ).
+// A negative value means the copy cannot finish spraying before expiry; it
+// is clamped to 0 so the derived probability stays in [0,1].
+func Exposure(copies int, remaining float64, nodes int, lambda float64) float64 {
+	if copies < 1 {
+		copies = 1
+	}
+	l2 := math.Log2(float64(copies))
+	a := (l2+1)*remaining - l2*(l2+1)/(2*float64(nodes-1)*lambda)
+	if a < 0 || math.IsNaN(a) {
+		return 0
+	}
+	return a
+}
+
+// ProbDelivered is Eq. 5: P(T_i) = m_i / (N−1), the probability that the
+// message already reached its destination given that m_i of the other N−1
+// nodes have seen it. The result is clamped to [0,1].
+func ProbDelivered(seen float64, nodes int) float64 {
+	p := seen / float64(nodes-1)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ProbWillDeliver is Eq. 6: P(R_i) = 1 − exp(−λ·n_i·A(C_i,R_i)), the
+// probability that an undelivered message with n_i live copies reaches the
+// destination within the remaining TTL.
+func ProbWillDeliver(live float64, copies int, remaining float64, nodes int, lambda float64) float64 {
+	a := Exposure(copies, remaining, nodes, lambda)
+	return 1 - math.Exp(-lambda*live*a)
+}
+
+// Priority is Eq. 10: the marginal effect ∂P/∂n_i of adding (replicating)
+// or removing (dropping) one copy of the message on the global delivery
+// ratio,
+//
+//	U_i = (1 − m_i/(N−1)) · λ · A · exp(−λ·n_i·A).
+//
+// seen is m̂_i, live is n̂_i, copies is C_i (tokens at this node), remaining
+// is R_i in seconds, nodes is N and lambda is the fitted intermeeting rate.
+func Priority(seen, live float64, copies int, remaining float64, nodes int, lambda float64) float64 {
+	a := Exposure(copies, remaining, nodes, lambda)
+	return (1 - ProbDelivered(seen, nodes)) * lambda * a * math.Exp(-lambda*live*a)
+}
+
+// PriorityFromProbabilities is Eq. 11, the same utility expressed through
+// the two delivery probabilities:
+//
+//	U_i = (1 − P(T_i)) · (P(R_i) − 1) · ln(1 − P(R_i)) / n_i.
+//
+// It equals Priority when pT, pR are produced by ProbDelivered and
+// ProbWillDeliver with the same inputs. pR = 1 maps to 0 (the limit value).
+func PriorityFromProbabilities(pT, pR, live float64) float64 {
+	if live <= 0 || pR >= 1 || pR < 0 {
+		return 0
+	}
+	return (1 - pT) * (pR - 1) * math.Log(1-pR) / live
+}
+
+// TaylorPriority is Eq. 13: the k-term Taylor truncation of Eq. 11 using
+// −ln(1−x) = Σ x^j/j,
+//
+//	U_i ≈ (1 − P(T_i)) · (1 − P(R_i)) · Σ_{j=1..k} P(R_i)^j / j / n_i.
+//
+// Larger k approaches the idealized curve of Fig. 4 at higher compute cost.
+func TaylorPriority(pT, pR, live float64, k int) float64 {
+	if live <= 0 || pR >= 1 || pR < 0 || k < 1 {
+		return 0
+	}
+	var sum, pow float64
+	pow = 1
+	for j := 1; j <= k; j++ {
+		pow *= pR
+		sum += pow / float64(j)
+	}
+	return (1 - pT) * (1 - pR) * sum / live
+}
+
+// PeakExposureCondition evaluates Eq. 12's balance: it returns the
+// difference between the expected encounter time 1/(λ·n_i) and the summed
+// remaining spray-phase time Σ_{k=0..log2(C_i)} (R_i − k·E(I_min)). A zero
+// value means P(R_i) = 1 − 1/e, the priority peak.
+func PeakExposureCondition(live float64, copies int, remaining float64, nodes int, lambda float64) float64 {
+	if copies < 1 {
+		copies = 1
+	}
+	eiMin := 1 / (float64(nodes-1) * lambda)
+	l2 := int(math.Round(math.Log2(float64(copies))))
+	var sum float64
+	for k := 0; k <= l2; k++ {
+		sum += remaining - float64(k)*eiMin
+	}
+	return 1/(lambda*live) - sum
+}

@@ -1,0 +1,287 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/core"
+	"sdsrp/internal/report"
+	"sdsrp/internal/world"
+)
+
+// CopiesSweep returns the Table II initial-copies sweep: 16..64 step 4.
+func CopiesSweep() []int {
+	var out []int
+	for l := 16; l <= 64; l += 4 {
+		out = append(out, l)
+	}
+	return out
+}
+
+// BufferSweep returns the Table II buffer sweep: 2.0..5.0 MB step 0.5.
+func BufferSweep() []int64 {
+	var out []int64
+	for b := 4; b <= 10; b++ { // half-megabytes
+		out = append(out, int64(b)*config.MB/2)
+	}
+	return out
+}
+
+// RateSweep returns the Table II generation-interval sweep:
+// [10,15], [15,20], ..., [45,50] seconds per message.
+func RateSweep() [][2]float64 {
+	var out [][2]float64
+	for lo := 10.0; lo <= 45; lo += 5 {
+		out = append(out, [2]float64{lo, lo + 5})
+	}
+	return out
+}
+
+// metric extracts one y-value from a run result.
+type metric struct {
+	label string
+	get   func(world.Result) float64
+}
+
+func paperMetrics() []metric {
+	return []metric{
+		{"Delivery ratio", func(r world.Result) float64 { return r.DeliveryRatio }},
+		{"Average hopcounts", func(r world.Result) float64 { return r.AvgHops }},
+		{"Overhead ratio", func(r world.Result) float64 { return r.OverheadRatio }},
+	}
+}
+
+// sweep describes one three-panel column of Fig. 8 / Fig. 9.
+type sweep struct {
+	figure string // "fig8" or "fig9"
+	col    int    // 0: a–c, 1: d–f, 2: g–i
+	title  string
+	xlabel string
+	x      []float64
+	ticks  []string
+	mutate func(*config.Scenario, int) // applies sweep point i
+}
+
+// panelSuffix maps (column, metric) to the paper's panel letter: columns
+// are copies/buffer/rate, rows are delivery/hops/overhead.
+func panelSuffix(col, row int) string {
+	return string(rune('a' + col*3 + row))
+}
+
+// runSweep executes policies × sweep points × seeds and reduces to three
+// panels (delivery ratio, hopcounts, overhead), averaging across seeds.
+func runSweep(base config.Scenario, sw sweep, o Options) ([]report.Panel, error) {
+	o = o.withDefaults()
+	base = o.apply(base)
+
+	type cell struct{ policy, point, seed int }
+	var scs []config.Scenario
+	var cells []cell
+	for pi, pol := range o.Policies {
+		for xi := range sw.x {
+			for si, seed := range o.Seeds {
+				sc := base
+				sc.PolicyName = pol
+				sc.Seed = seed
+				sw.mutate(&sc, xi)
+				sc.Name = fmt.Sprintf("%s-%s-%s-%d", sw.figure, pol, sw.ticks[xi], seed)
+				scs = append(scs, sc)
+				cells = append(cells, cell{pi, xi, si})
+			}
+		}
+	}
+	results, err := Run(scs, o.Workers, o.Progress)
+	if err != nil {
+		return nil, err
+	}
+
+	metrics := paperMetrics()
+	panels := make([]report.Panel, len(metrics))
+	for mi, m := range metrics {
+		panels[mi] = report.Panel{
+			ID:     sw.figure + panelSuffix(sw.col, mi),
+			Title:  m.label + " vs " + sw.title,
+			XLabel: sw.xlabel,
+			YLabel: m.label,
+			XTicks: sw.ticks,
+			X:      sw.x,
+		}
+		for pi, pol := range o.Policies {
+			y := make([]float64, len(sw.x))
+			for xi := range sw.x {
+				var sum float64
+				n := 0
+				for ci, c := range cells {
+					if c.policy == pi && c.point == xi {
+						sum += m.get(results[ci])
+						n++
+					}
+				}
+				y[xi] = sum / float64(n)
+			}
+			panels[mi].Curves = append(panels[mi].Curves, report.Curve{Label: pol, Y: y})
+		}
+	}
+	return panels, nil
+}
+
+// Fig8Copies reproduces Fig. 8 (a)–(c): metrics vs initial copies under
+// random-waypoint (buffer 2.5 MB, rate [25,35]).
+func Fig8Copies(o Options) ([]report.Panel, error) {
+	return figCopies("fig8", config.RandomWaypoint(), o)
+}
+
+// Fig9Copies reproduces Fig. 9 (a)–(c) on the EPFL substitute.
+func Fig9Copies(o Options) ([]report.Panel, error) {
+	return figCopies("fig9", config.EPFL(), o)
+}
+
+func figCopies(figure string, base config.Scenario, o Options) ([]report.Panel, error) {
+	ls := CopiesSweep()
+	x := make([]float64, len(ls))
+	ticks := make([]string, len(ls))
+	for i, l := range ls {
+		x[i] = float64(l)
+		ticks[i] = fmt.Sprintf("%d", l)
+	}
+	return runSweep(base, sweep{
+		figure: figure, col: 0,
+		title:  "initial number of copies",
+		xlabel: "initial copies L",
+		x:      x, ticks: ticks,
+		mutate: func(sc *config.Scenario, i int) { sc.InitialCopies = ls[i] },
+	}, o)
+}
+
+// Fig8Buffer reproduces Fig. 8 (d)–(f): metrics vs buffer size (L = 32,
+// rate [25,35]).
+func Fig8Buffer(o Options) ([]report.Panel, error) {
+	return figBuffer("fig8", config.RandomWaypoint(), o)
+}
+
+// Fig9Buffer reproduces Fig. 9 (d)–(f) on the EPFL substitute.
+func Fig9Buffer(o Options) ([]report.Panel, error) {
+	return figBuffer("fig9", config.EPFL(), o)
+}
+
+func figBuffer(figure string, base config.Scenario, o Options) ([]report.Panel, error) {
+	bs := BufferSweep()
+	x := make([]float64, len(bs))
+	ticks := make([]string, len(bs))
+	for i, b := range bs {
+		x[i] = float64(b) / float64(config.MB)
+		ticks[i] = fmt.Sprintf("%.1fMB", x[i])
+	}
+	return runSweep(base, sweep{
+		figure: figure, col: 1,
+		title:  "buffer size",
+		xlabel: "buffer size (MB)",
+		x:      x, ticks: ticks,
+		mutate: func(sc *config.Scenario, i int) { sc.BufferBytes = bs[i] },
+	}, o)
+}
+
+// Fig8Rate reproduces Fig. 8 (g)–(i): metrics vs message generation rate
+// (L = 32, buffer 2.5 MB). Interval [10,15] is the heaviest load; load
+// decreases along the axis as in the paper.
+func Fig8Rate(o Options) ([]report.Panel, error) {
+	return figRate("fig8", config.RandomWaypoint(), o)
+}
+
+// Fig9Rate reproduces Fig. 9 (g)–(i) on the EPFL substitute.
+func Fig9Rate(o Options) ([]report.Panel, error) {
+	return figRate("fig9", config.EPFL(), o)
+}
+
+func figRate(figure string, base config.Scenario, o Options) ([]report.Panel, error) {
+	rs := RateSweep()
+	x := make([]float64, len(rs))
+	ticks := make([]string, len(rs))
+	for i, r := range rs {
+		x[i] = r[0]
+		ticks[i] = fmt.Sprintf("%.0f-%.0f", r[0], r[1])
+	}
+	return runSweep(base, sweep{
+		figure: figure, col: 2,
+		title:  "message generation interval",
+		xlabel: "generation interval (s)",
+		x:      x, ticks: ticks,
+		mutate: func(sc *config.Scenario, i int) {
+			sc.GenIntervalLo, sc.GenIntervalHi = rs[i][0], rs[i][1]
+		},
+	}, o)
+}
+
+// Fig3 reproduces the intermeeting-time distributions: traffic-free runs of
+// both scenarios, with the empirical density binned against the fitted
+// exponential λe^{−λx} (one panel per scenario).
+func Fig3(o Options) ([]report.Panel, error) {
+	o = o.withDefaults()
+	rwp := o.apply(config.RandomWaypoint())
+	epfl := o.apply(config.EPFL())
+	for _, sc := range []*config.Scenario{&rwp, &epfl} {
+		sc.GenIntervalLo = 0 // mobility only
+		sc.RecordIntermeeting = true
+		sc.PolicyName = "SprayAndWait"
+	}
+	rwp.Name, epfl.Name = "fig3a-rwp", "fig3b-epfl"
+	// These runs are built directly (not through Run) because the panel
+	// needs the full Intermeeting recorder, not just the Result digest.
+	panels := make([]report.Panel, 0, 2)
+	for i, sc := range []config.Scenario{rwp, epfl} {
+		w, err := world.Build(sc)
+		if err != nil {
+			return nil, err
+		}
+		res := w.Run()
+		const nbins = 20
+		bins := w.Intermeeting.Histogram(nbins)
+		p := report.Panel{
+			ID:     []string{"fig3a", "fig3b"}[i],
+			Title:  fmt.Sprintf("Intermeeting distribution, %s (n=%d, mean=%.0fs, fit err=%.3f)", sc.Name, res.IntermeetingN, res.MeanIntermeeting, res.ExpFitError),
+			XLabel: "intermeeting time (s)",
+			YLabel: "density",
+		}
+		for _, b := range bins {
+			p.X = append(p.X, (b.Lo+b.Hi)/2)
+		}
+		emp := report.Curve{Label: "empirical"}
+		model := report.Curve{Label: "exp fit"}
+		for _, b := range bins {
+			emp.Y = append(emp.Y, b.Density)
+			model.Y = append(model.Y, b.ExpModel)
+		}
+		p.Curves = []report.Curve{emp, model}
+		panels = append(panels, p)
+	}
+	return panels, nil
+}
+
+// Fig4 reproduces the priority-shape figure: U_i as a function of P(R_i)
+// for the idealized Eq. 11 and the Eq. 13 Taylor truncations (k = 1, 2, 3,
+// 5), with P(T_i) = 0 and n_i = 1 as in the paper's illustration.
+func Fig4(Options) ([]report.Panel, error) {
+	const steps = 50
+	p := report.Panel{
+		ID:     "fig4",
+		Title:  "Priority U vs delivery probability P(R)",
+		XLabel: "P(R)",
+		YLabel: "U (pT=0, n=1)",
+	}
+	for i := 0; i <= steps; i++ {
+		p.X = append(p.X, float64(i)/float64(steps)*0.99)
+	}
+	ideal := report.Curve{Label: "idealization"}
+	for _, pr := range p.X {
+		ideal.Y = append(ideal.Y, core.PriorityFromProbabilities(0, pr, 1))
+	}
+	p.Curves = append(p.Curves, ideal)
+	for _, k := range []int{1, 2, 3, 5} {
+		c := report.Curve{Label: fmt.Sprintf("Taylor k=%d", k)}
+		for _, pr := range p.X {
+			c.Y = append(c.Y, core.TaylorPriority(0, pr, 1, k))
+		}
+		p.Curves = append(p.Curves, c)
+	}
+	return []report.Panel{p}, nil
+}

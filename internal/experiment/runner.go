@@ -1,0 +1,135 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: the Fig. 3 intermeeting distributions, the Fig. 4 priority
+// curve, and the Fig. 8 / Fig. 9 nine-panel sweeps, plus the ablations
+// listed in DESIGN.md §8.
+//
+// Simulation runs are deterministic and independent, so the runner fans
+// them out over a worker pool and reduces results in input order.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/world"
+)
+
+// Options tunes an experiment's cost without changing its structure.
+type Options struct {
+	// Workers bounds run parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seeds replicates every configuration and averages the metrics;
+	// empty means {1}.
+	Seeds []uint64
+	// Scale multiplies scenario duration and TTL (0 means 1). Values < 1
+	// give quick smoke runs for tests and benchmarks.
+	Scale float64
+	// Nodes overrides the preset node count (0 keeps it); synthetic areas
+	// shrink with sqrt(Nodes/preset) to preserve node density.
+	Nodes int
+	// Policies overrides the compared strategies; empty means the paper's
+	// four.
+	Policies []string
+	// Progress, when set, receives (done, total) after each finished run.
+	Progress func(done, total int)
+}
+
+// PaperPolicies are the four buffer-management strategies of Section IV-A,
+// in the paper's order.
+var PaperPolicies = []string{"SprayAndWait", "SprayAndWait-O", "SprayAndWait-C", "SDSRP"}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1}
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = PaperPolicies
+	}
+	return o
+}
+
+// apply rescales a preset scenario per the options.
+func (o Options) apply(sc config.Scenario) config.Scenario {
+	if o.Scale != 1 {
+		sc.Duration *= o.Scale
+		sc.TTL *= o.Scale
+	}
+	if o.Nodes > 0 && o.Nodes != sc.Nodes {
+		ratio := float64(o.Nodes) / float64(sc.Nodes)
+		sc.Nodes = o.Nodes
+		shrinkArea(&sc, ratio)
+	}
+	return sc
+}
+
+// shrinkArea preserves spatial node density when the node count changes.
+func shrinkArea(sc *config.Scenario, ratio float64) {
+	f := math.Sqrt(ratio)
+	switch sc.Mobility.Kind {
+	case config.MobilityTaxi:
+		t := &sc.Mobility.Taxi
+		t.Area.Max.X *= f
+		t.Area.Max.Y *= f
+		for i := range t.Hotspots {
+			t.Hotspots[i].Center.X *= f
+			t.Hotspots[i].Center.Y *= f
+			t.Hotspots[i].Sigma *= f
+		}
+		sc.Area = t.Area
+	case config.MobilityTraceDir:
+		// Real traces keep their geometry.
+	default:
+		sc.Area.Max.X *= f
+		sc.Area.Max.Y *= f
+	}
+}
+
+// Run executes every scenario on a worker pool and returns results in input
+// order. The first build error aborts the batch.
+func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]world.Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]world.Result, len(scs))
+	errs := make([]error, len(scs))
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scs) {
+					return
+				}
+				wld, err := world.Build(scs[i])
+				if err != nil {
+					errs[i] = err
+				} else {
+					results[i] = wld.Run()
+				}
+				if progress != nil {
+					progress(int(done.Add(1)), len(scs))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	return results, nil
+}

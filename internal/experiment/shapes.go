@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"sdsrp/internal/report"
+)
+
+// CheckShapes evaluates the qualitative claims of the paper's Section IV
+// against regenerated panels and returns a list of violations (empty when
+// every encoded claim holds). It is the science-regression harness behind
+// `cmd/experiments -check`: code changes that silently break a curve
+// ordering fail the check even while unit tests stay green.
+//
+// The expectations deliberately use sweep-wide aggregates (means, trends,
+// win fractions) rather than point-wise dominance, since single points are
+// seed-noisy; EXPERIMENTS.md documents the point-wise record.
+func CheckShapes(name string, panels []report.Panel) []string {
+	var v []string
+	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+	get := func(i int, label string) *report.Curve {
+		if i >= len(panels) {
+			add("%s: missing panel %d", name, i)
+			return nil
+		}
+		c := panels[i].CurveByLabel(label)
+		if c == nil {
+			add("%s/%s: missing curve %q", name, panels[i].ID, label)
+		}
+		return c
+	}
+	meanOf := func(i int, label string) float64 {
+		if c := get(i, label); c != nil {
+			return report.Mean(c.Y)
+		}
+		return math.NaN()
+	}
+
+	switch name {
+	case "fig3":
+		for _, p := range panels {
+			emp := p.CurveByLabel("empirical")
+			model := p.CurveByLabel("exp fit")
+			if emp == nil || model == nil {
+				add("%s/%s: curves missing", name, p.ID)
+				continue
+			}
+			if emp.Y[0] <= emp.Y[len(emp.Y)-1] {
+				add("%s/%s: density not front-loaded (not exponential-like)", name, p.ID)
+			}
+			// The empirical density should track the fitted exponential:
+			// mean absolute gap below half the model's peak.
+			var gap, peak float64
+			for i := range emp.Y {
+				gap += math.Abs(emp.Y[i] - model.Y[i])
+				peak = math.Max(peak, model.Y[i])
+			}
+			gap /= float64(len(emp.Y))
+			if gap > peak/2 {
+				add("%s/%s: empirical density far from exponential fit (gap %.3g vs peak %.3g)", name, p.ID, gap, peak)
+			}
+		}
+
+	case "fig4":
+		p := panels[0]
+		ideal := p.CurveByLabel("idealization")
+		if ideal == nil {
+			add("fig4: idealization curve missing")
+			break
+		}
+		best := 0
+		for i, y := range ideal.Y {
+			if y > ideal.Y[best] {
+				best = i
+			}
+		}
+		if math.Abs(p.X[best]-(1-1/math.E)) > 0.05 {
+			add("fig4: peak at P(R)=%.3f, want ≈0.632", p.X[best])
+		}
+		for _, lbl := range []string{"Taylor k=1", "Taylor k=5"} {
+			c := p.CurveByLabel(lbl)
+			if c == nil {
+				add("fig4: %s missing", lbl)
+				continue
+			}
+			for i := range c.Y {
+				if c.Y[i] > ideal.Y[i]+1e-9 {
+					add("fig4: %s exceeds idealization at P(R)=%.2f", lbl, p.X[i])
+					break
+				}
+			}
+		}
+
+	case "fig8copies", "fig9copies", "fig8buffer", "fig9buffer", "fig8rate", "fig9rate":
+		const (
+			dr = 0 // delivery panel index
+			hp = 1 // hopcounts
+			oh = 2 // overhead
+		)
+		// SW-C delivers least of the four, on average over the sweep.
+		swc := meanOf(dr, "SprayAndWait-C")
+		for _, other := range []string{"SprayAndWait", "SprayAndWait-O", "SDSRP"} {
+			if m := meanOf(dr, other); !math.IsNaN(m) && swc >= m {
+				add("%s: SW-C delivery (%.3f) not below %s (%.3f)", name, swc, other, m)
+			}
+		}
+		// Delivery vs plain SW. On the EPFL figures SDSRP leads outright;
+		// on RWP the light-load corner is genuinely close (the documented
+		// honest mismatch in EXPERIMENTS.md), so the claim there is a 10%
+		// band plus leadership at the most-congested sweep point.
+		sdsrp, sw := meanOf(dr, "SDSRP"), meanOf(dr, "SprayAndWait")
+		if len(name) >= 4 && name[:4] == "fig9" {
+			if sdsrp <= sw {
+				add("%s: SDSRP delivery (%.3f) not above SW (%.3f) on EPFL", name, sdsrp, sw)
+			}
+		} else {
+			if sdsrp < sw*0.90 {
+				add("%s: SDSRP delivery (%.3f) clearly below SW (%.3f)", name, sdsrp, sw)
+			}
+			cs, cw := get(dr, "SDSRP"), get(dr, "SprayAndWait")
+			if name == "fig8rate" && cs != nil && cw != nil && cs.Y[0] < cw.Y[0] {
+				add("%s: SDSRP not leading at the most congested interval", name)
+			}
+		}
+		// Hopcounts: SW-C lowest; SDSRP "similar" to SW (the paper's wording)
+		// — flag only when SDSRP clearly exceeds plain SW (>15% relative; on
+		// the EPFL substitute SDSRP's extra successful long-haul deliveries
+		// push its mean a few percent above SW's).
+		if meanOf(hp, "SDSRP") > meanOf(hp, "SprayAndWait")*1.15 {
+			add("%s: SDSRP hopcounts clearly above SW", name)
+		}
+		if meanOf(hp, "SprayAndWait-C") > meanOf(hp, "SprayAndWait") {
+			add("%s: SW-C hopcounts above SW", name)
+		}
+		// Overhead: SDSRP lowest, SW-C highest, across most of the sweep.
+		for _, other := range []string{"SprayAndWait", "SprayAndWait-O", "SprayAndWait-C"} {
+			c1, c2 := get(oh, "SDSRP"), get(oh, other)
+			if c1 == nil || c2 == nil {
+				continue
+			}
+			if report.WinFraction(c2.Y, c1.Y) < 0.75 {
+				add("%s: SDSRP overhead not below %s on ≥75%% of the sweep", name, other)
+			}
+		}
+		if meanOf(oh, "SprayAndWait-C") < meanOf(oh, "SprayAndWait") {
+			add("%s: SW-C overhead below SW", name)
+		}
+		// Sweep-specific trends.
+		switch name {
+		case "fig8buffer", "fig9buffer", "fig8rate", "fig9rate":
+			// Delivery improves as buffers grow / load lightens.
+			for _, lbl := range []string{"SprayAndWait", "SDSRP"} {
+				if c := get(dr, lbl); c != nil && report.Trend(panels[dr].X, c.Y) <= 0 {
+					add("%s: %s delivery not rising along the sweep", name, lbl)
+				}
+			}
+		case "fig8copies", "fig9copies":
+			// SW-O declines with L.
+			if c := get(dr, "SprayAndWait-O"); c != nil && report.Trend(panels[dr].X, c.Y) >= 0 {
+				add("%s: SW-O delivery not declining with L", name)
+			}
+		}
+
+	default:
+		add("no shape expectations encoded for %s", name)
+	}
+	return v
+}
+
+// CheckableFigures lists the experiment names CheckShapes understands.
+func CheckableFigures() []string {
+	return []string{"fig3", "fig4", "fig8copies", "fig8buffer", "fig8rate",
+		"fig9copies", "fig9buffer", "fig9rate"}
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"sdsrp/internal/report"
+)
+
+// goodSweepPanels fabricates a three-panel figure satisfying every encoded
+// Section IV claim.
+func goodSweepPanels() []report.Panel {
+	x := []float64{16, 20, 24, 28}
+	mk := func(ylabel string, rows map[string][]float64) report.Panel {
+		p := report.Panel{ID: "t", XLabel: "L", YLabel: ylabel, X: x}
+		for _, label := range []string{"SprayAndWait", "SprayAndWait-O", "SprayAndWait-C", "SDSRP"} {
+			p.Curves = append(p.Curves, report.Curve{Label: label, Y: rows[label]})
+		}
+		return p
+	}
+	delivery := mk("delivery", map[string][]float64{
+		"SprayAndWait":   {0.30, 0.29, 0.28, 0.27},
+		"SprayAndWait-O": {0.28, 0.26, 0.24, 0.22},
+		"SprayAndWait-C": {0.16, 0.16, 0.15, 0.16},
+		"SDSRP":          {0.30, 0.30, 0.31, 0.31},
+	})
+	hops := mk("hops", map[string][]float64{
+		"SprayAndWait":   {2.9, 3.1, 3.3, 3.5},
+		"SprayAndWait-O": {2.6, 2.6, 2.7, 2.7},
+		"SprayAndWait-C": {2.3, 2.3, 2.4, 2.3},
+		"SDSRP":          {2.6, 2.8, 3.0, 3.1},
+	})
+	oh := mk("overhead", map[string][]float64{
+		"SprayAndWait":   {34, 39, 44, 48},
+		"SprayAndWait-O": {38, 46, 53, 58},
+		"SprayAndWait-C": {54, 76, 89, 94},
+		"SDSRP":          {26, 28, 29, 32},
+	})
+	return []report.Panel{delivery, hops, oh}
+}
+
+func TestCheckShapesAcceptsGoodFigure(t *testing.T) {
+	if v := CheckShapes("fig8copies", goodSweepPanels()); len(v) != 0 {
+		t.Fatalf("violations on good figure: %v", v)
+	}
+}
+
+func TestCheckShapesCatchesInvertedOrdering(t *testing.T) {
+	panels := goodSweepPanels()
+	// Make SW-C the best deliverer: multiple claims break.
+	panels[0].CurveByLabel("SprayAndWait-C").Y = []float64{0.5, 0.5, 0.5, 0.5}
+	v := CheckShapes("fig8copies", panels)
+	if len(v) == 0 {
+		t.Fatal("inverted SW-C not caught")
+	}
+	joined := strings.Join(v, "; ")
+	if !strings.Contains(joined, "SW-C delivery") {
+		t.Fatalf("violations do not name the problem: %v", v)
+	}
+}
+
+func TestCheckShapesCatchesOverheadRegression(t *testing.T) {
+	panels := goodSweepPanels()
+	panels[2].CurveByLabel("SDSRP").Y = []float64{60, 70, 80, 90}
+	v := CheckShapes("fig8copies", panels)
+	if len(v) == 0 {
+		t.Fatal("SDSRP overhead regression not caught")
+	}
+}
+
+func TestCheckShapesCatchesMissingCurve(t *testing.T) {
+	panels := goodSweepPanels()
+	panels[0].Curves = panels[0].Curves[:2]
+	if v := CheckShapes("fig8copies", panels); len(v) == 0 {
+		t.Fatal("missing curve not reported")
+	}
+}
+
+func TestCheckShapesBufferTrend(t *testing.T) {
+	panels := goodSweepPanels()
+	// As a buffer figure, flat/declining delivery must be flagged.
+	v := CheckShapes("fig8buffer", panels)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "not rising") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("buffer trend not checked: %v", v)
+	}
+}
+
+func TestCheckShapesFig4(t *testing.T) {
+	panels, err := Fig4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckShapes("fig4", panels); len(v) != 0 {
+		t.Fatalf("fig4 violations: %v", v)
+	}
+	// Corrupt the peak.
+	panels[0].CurveByLabel("idealization").Y[2] = 99
+	if v := CheckShapes("fig4", panels); len(v) == 0 {
+		t.Fatal("corrupted fig4 peak not caught")
+	}
+}
+
+func TestCheckShapesUnknownFigure(t *testing.T) {
+	if v := CheckShapes("fig99", nil); len(v) != 1 {
+		t.Fatalf("unknown figure handling: %v", v)
+	}
+}
+
+func TestCheckableFiguresResolve(t *testing.T) {
+	for _, name := range CheckableFigures() {
+		if _, ok := ByName(name); !ok {
+			t.Fatalf("checkable figure %q not in registry", name)
+		}
+	}
+}
+
+// End-to-end at full paper scale: regenerate a real figure and expect the
+// encoded claims to hold — the same gate `cmd/experiments -check` runs.
+// The claims are calibrated to Table II scale (reduced scales shift the
+// congestion regime and genuinely reorder the light-load corner), so this
+// test costs minutes and is opt-in: SDSRP_FULL_SHAPES=1 go test ./... .
+func TestCheckShapesEndToEndFullScale(t *testing.T) {
+	if os.Getenv("SDSRP_FULL_SHAPES") == "" {
+		t.Skip("set SDSRP_FULL_SHAPES=1 to run the full-scale shape gate")
+	}
+	o := Options{Seeds: []uint64{1, 2, 3}}
+	panels, err := Fig8Copies(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckShapes("fig8copies", panels); len(v) != 0 {
+		t.Fatalf("full-scale fig8copies violates shapes: %v", v)
+	}
+}

@@ -1,0 +1,84 @@
+// Package geo provides 2-D geometry primitives and a uniform-grid spatial
+// index used by the contact scanner to find node pairs within radio range
+// without O(N²) distance checks.
+package geo
+
+import "math"
+
+// Point is a position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Prefer this
+// on hot paths where only comparisons against a squared radius are needed.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates from p to q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Vec is a displacement in metres.
+type Vec struct {
+	X, Y float64
+}
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm returns v scaled to unit length; the zero vector is returned as-is.
+func (v Vec) Norm() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return Vec{v.X / l, v.Y / l}
+}
+
+// Rect is an axis-aligned rectangle with Min at the lower-left corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle [0,w]×[0,h].
+func NewRect(w, h float64) Rect {
+	return Rect{Min: Point{0, 0}, Max: Point{w, h}}
+}
+
+// W returns the rectangle width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}

@@ -1,0 +1,91 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.Dist(q); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d2 := p.Dist2(q); d2 != 25 {
+		t.Fatalf("Dist2 = %v, want 25", d2)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{10, 20}
+	if mid := p.Lerp(q, 0.5); mid != (Point{5, 10}) {
+		t.Fatalf("Lerp(0.5) = %v", mid)
+	}
+	if start := p.Lerp(q, 0); start != p {
+		t.Fatalf("Lerp(0) = %v", start)
+	}
+	if end := p.Lerp(q, 1); end != q {
+		t.Fatalf("Lerp(1) = %v", end)
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	v := Vec{3, 4}
+	n := v.Norm()
+	if math.Abs(n.Len()-1) > 1e-12 {
+		t.Fatalf("Norm length = %v", n.Len())
+	}
+	zero := Vec{}
+	if zero.Norm() != zero {
+		t.Fatal("Norm of zero vector changed it")
+	}
+}
+
+func TestVecScaleAdd(t *testing.T) {
+	p := Point{1, 1}.Add(Vec{2, 3}.Scale(2))
+	if p != (Point{5, 7}) {
+		t.Fatalf("Add/Scale = %v", p)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(100, 50)
+	if r.W() != 100 || r.H() != 50 {
+		t.Fatalf("W,H = %v,%v", r.W(), r.H())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{100, 50}) {
+		t.Fatal("Contains rejects corners")
+	}
+	if r.Contains(Point{100.01, 0}) {
+		t.Fatal("Contains accepts outside point")
+	}
+	c := r.Clamp(Point{-5, 60})
+	if c != (Point{0, 50}) {
+		t.Fatalf("Clamp = %v", c)
+	}
+}
+
+// Property: Dist is symmetric and satisfies the triangle inequality.
+func TestPropertyDistMetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Bound magnitudes to avoid overflow-driven noise.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package geo
+
+// Grid is a uniform spatial hash over a rectangle. Items are identified by a
+// dense integer id in [0, n). The cell size should be at least the query
+// radius so a 3×3 cell neighbourhood covers every candidate pair.
+//
+// The grid is rebuilt (Update) every scan tick rather than maintained
+// incrementally: with N ≤ a few hundred nodes a rebuild is a handful of
+// microseconds and keeps the structure trivially correct.
+type Grid struct {
+	area     Rect
+	cell     float64
+	cols     int
+	rows     int
+	cells    [][]int32 // per-cell item ids
+	pos      []Point   // last known position per item
+	occupied []int32   // indices of non-empty cells, for fast reset
+}
+
+// NewGrid creates a grid over area with the given cell size for n items.
+// cell must be > 0.
+func NewGrid(area Rect, cell float64, n int) *Grid {
+	cols := int(area.W()/cell) + 1
+	rows := int(area.H()/cell) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		area:  area,
+		cell:  cell,
+		cols:  cols,
+		rows:  rows,
+		cells: make([][]int32, cols*rows),
+		pos:   make([]Point, n),
+	}
+}
+
+func (g *Grid) index(p Point) int {
+	cx := int((p.X - g.area.Min.X) / g.cell)
+	cy := int((p.Y - g.area.Min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Update replaces all item positions. len(pos) must equal the n passed to
+// NewGrid.
+func (g *Grid) Update(pos []Point) {
+	for _, ci := range g.occupied {
+		g.cells[ci] = g.cells[ci][:0]
+	}
+	g.occupied = g.occupied[:0]
+	copy(g.pos, pos)
+	for id, p := range pos {
+		ci := g.index(p)
+		if len(g.cells[ci]) == 0 {
+			g.occupied = append(g.occupied, int32(ci))
+		}
+		g.cells[ci] = append(g.cells[ci], int32(id))
+	}
+}
+
+// Pairs appends to out every unordered pair (a,b), a<b, whose distance is at
+// most radius, and returns the extended slice. radius must be ≤ the cell
+// size for completeness.
+func (g *Grid) Pairs(radius float64, out [][2]int32) [][2]int32 {
+	r2 := radius * radius
+	for _, ciAny := range g.occupied {
+		ci := int(ciAny)
+		cx := ci % g.cols
+		cy := ci / g.cols
+		items := g.cells[ci]
+		// Pairs within the cell itself.
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				a, b := items[i], items[j]
+				if g.pos[a].Dist2(g.pos[b]) <= r2 {
+					out = appendPair(out, a, b)
+				}
+			}
+		}
+		// Pairs with forward neighbour cells only (E, SW, S, SE) so each
+		// cell pair is visited exactly once.
+		for _, d := range [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+			nx, ny := cx+d[0], cy+d[1]
+			if nx < 0 || nx >= g.cols || ny >= g.rows {
+				continue
+			}
+			other := g.cells[ny*g.cols+nx]
+			for _, a := range items {
+				for _, b := range other {
+					if g.pos[a].Dist2(g.pos[b]) <= r2 {
+						out = appendPair(out, a, b)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func appendPair(out [][2]int32, a, b int32) [][2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return append(out, [2]int32{a, b})
+}
+
+// Near appends to out the ids of all items within radius of p (including
+// items at exactly radius), and returns the extended slice.
+func (g *Grid) Near(p Point, radius float64, out []int32) []int32 {
+	r2 := radius * radius
+	cx := int((p.X - g.area.Min.X) / g.cell)
+	cy := int((p.Y - g.area.Min.Y) / g.cell)
+	span := int(radius/g.cell) + 1
+	for dy := -span; dy <= span; dy++ {
+		ny := cy + dy
+		if ny < 0 || ny >= g.rows {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			nx := cx + dx
+			if nx < 0 || nx >= g.cols {
+				continue
+			}
+			for _, id := range g.cells[ny*g.cols+nx] {
+				if g.pos[id].Dist2(p) <= r2 {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}

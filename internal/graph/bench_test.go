@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"testing"
+
+	"sdsrp/internal/geo"
+	"sdsrp/internal/rng"
+)
+
+func BenchmarkShortestPathGrid(b *testing.B) {
+	g, err := GridCity(30, 30, 100, 0.1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := s.IntN(g.Len())
+		c := s.IntN(g.Len())
+		if _, _, ok := g.ShortestPath(a, c); !ok {
+			b.Fatal("unreachable on connected grid")
+		}
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	g, _ := GridCity(30, 30, 100, 0, nil)
+	s := rng.New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Nearest(geo.Point{X: s.Uniform(0, 2900), Y: s.Uniform(0, 2900)})
+	}
+}

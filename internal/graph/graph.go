@@ -1,0 +1,176 @@
+// Package graph provides the road-network substrate for map-constrained
+// mobility (the ONE simulator's map-based movement): an undirected weighted
+// graph embedded in the plane, shortest paths, and nearest-vertex lookup.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"sdsrp/internal/eventq"
+	"sdsrp/internal/geo"
+)
+
+// Graph is an undirected road network. Vertices are points in the plane;
+// edge weights are Euclidean lengths. Construct with New, then AddVertex /
+// AddEdge; Freeze validates connectivity queries.
+type Graph struct {
+	verts []geo.Point
+	adj   [][]halfEdge
+}
+
+type halfEdge struct {
+	to int32
+	w  float64
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddVertex adds a vertex at p and returns its id.
+func (g *Graph) AddVertex(p geo.Point) int {
+	g.verts = append(g.verts, p)
+	g.adj = append(g.adj, nil)
+	return len(g.verts) - 1
+}
+
+// AddEdge connects vertices a and b with weight equal to their Euclidean
+// distance. Self-loops are rejected; duplicate edges are ignored.
+func (g *Graph) AddEdge(a, b int) error {
+	if a == b {
+		return fmt.Errorf("graph: self-loop at %d", a)
+	}
+	if a < 0 || a >= len(g.verts) || b < 0 || b >= len(g.verts) {
+		return fmt.Errorf("graph: edge %d-%d out of range", a, b)
+	}
+	for _, e := range g.adj[a] {
+		if int(e.to) == b {
+			return nil
+		}
+	}
+	w := g.verts[a].Dist(g.verts[b])
+	g.adj[a] = append(g.adj[a], halfEdge{to: int32(b), w: w})
+	g.adj[b] = append(g.adj[b], halfEdge{to: int32(a), w: w})
+	return nil
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.verts) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// At returns the position of vertex v.
+func (g *Graph) At(v int) geo.Point { return g.verts[v] }
+
+// Bounds returns the bounding box of all vertices (zero rect when empty).
+func (g *Graph) Bounds() geo.Rect {
+	if len(g.verts) == 0 {
+		return geo.Rect{}
+	}
+	lo, hi := g.verts[0], g.verts[0]
+	for _, p := range g.verts[1:] {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+	}
+	return geo.Rect{Min: lo, Max: hi}
+}
+
+// Nearest returns the vertex closest to p (-1 when the graph is empty).
+func (g *Graph) Nearest(p geo.Point) int {
+	best, bestD := -1, math.Inf(1)
+	for i, v := range g.verts {
+		if d := v.Dist2(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// ShortestPath returns the vertex sequence of a minimum-length path from a
+// to b (inclusive) and its length. ok is false when b is unreachable.
+// Plain binary-heap Dijkstra: road graphs here are small (thousands of
+// vertices), queried once per movement leg.
+func (g *Graph) ShortestPath(a, b int) (path []int, length float64, ok bool) {
+	n := len(g.verts)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return nil, 0, false
+	}
+	if a == b {
+		return []int{a}, 0, true
+	}
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	type item struct {
+		v int32
+		d float64
+	}
+	pq := eventq.New(func(x, y item) bool { return x.d < y.d })
+	dist[a] = 0
+	pq.Push(item{int32(a), 0})
+	for {
+		it, any := pq.Pop()
+		if !any {
+			return nil, 0, false
+		}
+		v := int(it.v)
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == b {
+			break
+		}
+		for _, e := range g.adj[v] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.v
+				pq.Push(item{e.to, nd})
+			}
+		}
+	}
+	for v := int32(b); v != -1; v = prev[v] {
+		path = append(path, int(v))
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[b], true
+}
+
+// Connected reports whether every vertex is reachable from vertex 0
+// (vacuously true for empty graphs).
+func (g *Graph) Connected() bool {
+	if len(g.verts) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.verts))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, int(e.to))
+			}
+		}
+	}
+	return count == len(g.verts)
+}

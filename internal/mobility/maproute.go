@@ -1,0 +1,66 @@
+package mobility
+
+import (
+	"fmt"
+
+	"sdsrp/internal/geo"
+	"sdsrp/internal/graph"
+	"sdsrp/internal/rng"
+)
+
+// MapRoute is map-constrained movement (the ONE simulator's map-based
+// model): the node picks a random intersection of a road graph, walks the
+// shortest path to it vertex by vertex, pauses, and repeats. The paper's
+// RWP description — "selecting a destination randomly and walking along
+// the shortest path to reach the destination" — is exactly this model with
+// the road graph as the constraint.
+type MapRoute struct {
+	legMover
+}
+
+// NewMapRoute creates a walker on g. The graph must be connected (every
+// destination must be reachable); speeds and pauses are uniform in their
+// ranges.
+func NewMapRoute(g *graph.Graph, speedLo, speedHi, pauseLo, pauseHi float64, s *rng.Stream) (*MapRoute, error) {
+	if g.Len() < 2 {
+		return nil, fmt.Errorf("mobility: road graph needs at least 2 vertices")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("mobility: road graph is not connected")
+	}
+	cur := s.IntN(g.Len())
+	var queue []int
+
+	pickDest := func(geo.Point) geo.Point {
+		if len(queue) == 0 {
+			for {
+				dst := s.IntN(g.Len())
+				if dst == cur {
+					continue
+				}
+				path, _, ok := g.ShortestPath(cur, dst)
+				if !ok || len(path) < 2 {
+					continue // unreachable; cannot happen on connected graphs
+				}
+				queue = append(queue[:0], path[1:]...)
+				break
+			}
+		}
+		next := queue[0]
+		queue = queue[1:]
+		cur = next
+		return g.At(next)
+	}
+	m := &MapRoute{}
+	m.legMover = newLegMover(g.At(cur),
+		pickDest,
+		func() float64 { return s.Uniform(speedLo, speedHi+1e-12) },
+		func() float64 {
+			if len(queue) > 0 {
+				return 0 // mid-route: keep driving through intersections
+			}
+			return s.Uniform(pauseLo, pauseHi+1e-12)
+		},
+	)
+	return m, nil
+}

@@ -1,0 +1,131 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"sdsrp/internal/geo"
+	"sdsrp/internal/graph"
+	"sdsrp/internal/rng"
+)
+
+func testGrid(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.GridCity(6, 5, 100, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMapRouteStaysOnStreets(t *testing.T) {
+	g := testGrid(t)
+	m, err := NewMapRoute(g, 5, 5, 0, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sampled position must lie on a grid line (x or y a multiple of
+	// the 100 m spacing, up to float noise).
+	onStreet := func(p geo.Point) bool {
+		mod := func(v float64) float64 {
+			m := math.Mod(v, 100)
+			return math.Min(m, 100-m)
+		}
+		return mod(p.X) < 1e-6 || mod(p.Y) < 1e-6
+	}
+	for ti := 0; ti <= 5000; ti++ {
+		p := m.Pos(float64(ti))
+		if !onStreet(p) {
+			t.Fatalf("off-street position %v at t=%d", p, ti)
+		}
+		if !g.Bounds().Contains(p) {
+			t.Fatalf("position %v outside map", p)
+		}
+	}
+}
+
+func TestMapRouteSpeedBound(t *testing.T) {
+	g := testGrid(t)
+	m, err := NewMapRoute(g, 5, 5, 0, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Pos(0)
+	for ti := 1; ti <= 3000; ti++ {
+		p := m.Pos(float64(ti))
+		if p.Dist(prev) > 5+1e-6 {
+			t.Fatalf("moved %vm in 1s at 5m/s", p.Dist(prev))
+		}
+		prev = p
+	}
+}
+
+func TestMapRouteVisitsManyIntersections(t *testing.T) {
+	g := testGrid(t)
+	m, err := NewMapRoute(g, 10, 10, 0, 0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := map[int]bool{}
+	for ti := 0; ti <= 20000; ti++ {
+		p := m.Pos(float64(ti))
+		v := g.Nearest(p)
+		if g.At(v).Dist(p) < 1e-6 {
+			visited[v] = true
+		}
+	}
+	if len(visited) < g.Len()/2 {
+		t.Fatalf("visited only %d/%d intersections", len(visited), g.Len())
+	}
+}
+
+func TestMapRoutePausesOnlyAtDestinations(t *testing.T) {
+	g := testGrid(t)
+	m, err := NewMapRoute(g, 10, 10, 50, 60, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 50-60 s pauses and 10 m/s travel, stationary stretches exist and
+	// always occur at intersections.
+	prev := m.Pos(0)
+	stationaryAt := 0
+	for ti := 1; ti <= 10000; ti++ {
+		p := m.Pos(float64(ti))
+		if p == prev {
+			v := g.Nearest(p)
+			if g.At(v).Dist(p) > 1e-6 {
+				t.Fatalf("paused mid-street at %v", p)
+			}
+			stationaryAt++
+		}
+		prev = p
+	}
+	if stationaryAt == 0 {
+		t.Fatal("never paused despite long pause range")
+	}
+}
+
+func TestMapRouteDeterministic(t *testing.T) {
+	g := testGrid(t)
+	a, _ := NewMapRoute(g, 3, 7, 0, 20, rng.New(7))
+	b, _ := NewMapRoute(g, 3, 7, 0, 20, rng.New(7))
+	for ti := 0; ti < 4000; ti += 17 {
+		if a.Pos(float64(ti)) != b.Pos(float64(ti)) {
+			t.Fatalf("trajectories diverged at t=%d", ti)
+		}
+	}
+}
+
+func TestMapRouteRejectsBadGraphs(t *testing.T) {
+	tiny := graph.New()
+	tiny.AddVertex(geo.Point{})
+	if _, err := NewMapRoute(tiny, 1, 1, 0, 0, rng.New(1)); err == nil {
+		t.Fatal("single-vertex graph accepted")
+	}
+	disc := graph.New()
+	disc.AddVertex(geo.Point{})
+	disc.AddVertex(geo.Point{X: 10})
+	if _, err := NewMapRoute(disc, 1, 1, 0, 0, rng.New(1)); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"sdsrp/internal/geo"
+)
+
+// TimedPoint is one waypoint of a recorded trajectory.
+type TimedPoint struct {
+	T float64
+	P geo.Point
+}
+
+// Path plays back a recorded trajectory, interpolating linearly between
+// waypoints. Before the first waypoint the node sits at it; after the last
+// it stays there. This is the adapter between trace files (internal/trace)
+// and the simulator.
+type Path struct {
+	points []TimedPoint
+	// cursor is the index of the last segment used; queries are
+	// non-decreasing in time, so scanning forward from it is O(1) amortized.
+	cursor int
+}
+
+// NewPath builds a playback model. Waypoints are sorted by time; at least
+// one waypoint is required.
+func NewPath(points []TimedPoint) (*Path, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("mobility: empty path")
+	}
+	sorted := append([]TimedPoint(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	return &Path{points: sorted}, nil
+}
+
+// Pos implements Model.
+func (p *Path) Pos(t float64) geo.Point {
+	pts := p.points
+	if t <= pts[0].T {
+		p.cursor = 0
+		return pts[0].P
+	}
+	last := len(pts) - 1
+	if t >= pts[last].T {
+		p.cursor = last
+		return pts[last].P
+	}
+	// Resume from the cursor; rewind only if the caller went back in time.
+	i := p.cursor
+	if i > 0 && pts[i].T > t {
+		i = sort.Search(len(pts), func(k int) bool { return pts[k].T > t }) - 1
+	}
+	for i+1 < len(pts) && pts[i+1].T <= t {
+		i++
+	}
+	p.cursor = i
+	a, b := pts[i], pts[i+1]
+	if b.T == a.T {
+		return b.P
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.P.Lerp(b.P, frac)
+}
+
+// Duration returns the time span covered by the path.
+func (p *Path) Duration() float64 {
+	return p.points[len(p.points)-1].T - p.points[0].T
+}
+
+// Start returns the first waypoint time.
+func (p *Path) Start() float64 { return p.points[0].T }

@@ -1,0 +1,406 @@
+// Package network implements the radio model: grid-accelerated contact
+// detection and half-duplex, bandwidth-limited transfers that abort when
+// nodes move out of range.
+//
+// Semantics (matching what the paper's ONE setup exercises):
+//
+//   - Nodes are in contact while within Range metres; the scanner samples
+//     positions every ScanInterval seconds and diffs the in-range pair set.
+//   - A node runs at most one transfer at a time (send or receive); a link
+//     carries at most one active transfer.
+//   - A transfer takes size/Bandwidth seconds. Link-down mid-transfer
+//     aborts it: the receiver discards partial data, the sender's state is
+//     untouched.
+//   - When a link is idle, the sender's buffer-management policy picks the
+//     next message (routing.Host.NextOffer, the paper's Algorithm 1
+//     ordering). The receiver refuses up-front only what its dropped list
+//     rejects (or, in the preflight-eviction ablation, what its buffer
+//     policy would discard); refused and arrival-dropped messages are not
+//     re-offered during the same contact.
+//   - Optional per-node radio ranges (both radios must reach), a battery
+//     model (EnergyConfig), and contact-trace replay (StartScheduled)
+//     extend the paper's fixed setup.
+package network
+
+import (
+	"math"
+	"sort"
+
+	"sdsrp/internal/geo"
+	"sdsrp/internal/mobility"
+	"sdsrp/internal/msg"
+	"sdsrp/internal/routing"
+	"sdsrp/internal/sim"
+	"sdsrp/internal/stats"
+)
+
+// Config parameterizes the radio model.
+type Config struct {
+	Area         geo.Rect
+	Range        float64 // metres
+	Bandwidth    float64 // bytes per second
+	ScanInterval float64 // seconds between connectivity scans
+	// Ranges optionally gives each node its own radio range; nil uses
+	// Range for everyone. Two nodes are in contact when their distance is
+	// at most the smaller of their ranges (a link needs both directions).
+	Ranges []float64
+	// Energy enables the per-node battery model when Capacity > 0.
+	Energy EnergyConfig
+	// RecordContacts keeps a log of finished contacts (a, b, start, end)
+	// retrievable from ContactLog — exportable as a replayable trace.
+	RecordContacts bool
+}
+
+// pairKey identifies an unordered host pair, low id first.
+type pairKey [2]int32
+
+func keyOf(a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{int32(a), int32(b)}
+}
+
+type transfer struct {
+	link      *link
+	sender    *routing.Host
+	receiver  *routing.Host
+	offer     routing.Offer
+	done      sim.EventID
+	startedAt float64
+}
+
+type link struct {
+	key    pairKey
+	a, b   *routing.Host // a.ID() < b.ID()
+	upAt   float64
+	active *transfer
+	// refusedTo[0] holds ids refused by b (direction a→b); refusedTo[1]
+	// ids refused by a (direction b→a). Cleared when the contact ends.
+	refusedTo [2]map[msg.ID]bool
+	// flip alternates which direction gets first pick, for fairness
+	// during long contacts.
+	flip bool
+}
+
+// Manager owns the links and transfer scheduling for one simulation run.
+type Manager struct {
+	eng    *sim.Engine
+	cfg    Config
+	hosts  []*routing.Host
+	models []mobility.Model
+	grid   *geo.Grid
+
+	links     map[pairKey]*link
+	neighbors []map[int]*link // per host: peer id -> link
+	busy      []bool
+
+	collector *stats.Collector
+	inter     *stats.Intermeeting // may be nil
+	lastEnd   map[pairKey]float64
+
+	positions  []geo.Point
+	pairBuf    [][2]int32
+	contacts   int
+	durations  stats.Sampler
+	energy     *energyState
+	ranges     []float64 // per-node; nil when uniform
+	maxRange   float64
+	contactLog []Contact
+}
+
+// NewManager wires the radio model. hosts[i] moves along models[i].
+func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mobility.Model,
+	collector *stats.Collector, inter *stats.Intermeeting) *Manager {
+	if len(hosts) != len(models) {
+		panic("network: hosts/models length mismatch")
+	}
+	n := len(hosts)
+	maxRange := cfg.Range
+	if cfg.Ranges != nil {
+		if len(cfg.Ranges) != n {
+			panic("network: Ranges length mismatch")
+		}
+		for _, r := range cfg.Ranges {
+			if r > maxRange {
+				maxRange = r
+			}
+		}
+	}
+	m := &Manager{
+		eng:       eng,
+		cfg:       cfg,
+		hosts:     hosts,
+		models:    models,
+		ranges:    cfg.Ranges,
+		maxRange:  maxRange,
+		grid:      geo.NewGrid(cfg.Area, maxRange, n),
+		links:     make(map[pairKey]*link),
+		neighbors: make([]map[int]*link, n),
+		busy:      make([]bool, n),
+		collector: collector,
+		inter:     inter,
+		lastEnd:   make(map[pairKey]float64),
+		positions: make([]geo.Point, n),
+		energy:    newEnergyState(cfg.Energy, n),
+	}
+	for i := range m.neighbors {
+		m.neighbors[i] = make(map[int]*link)
+	}
+	return m
+}
+
+// Start schedules the periodic connectivity scan. Call once before
+// Engine.Run.
+func (m *Manager) Start() {
+	m.eng.Every(m.cfg.ScanInterval, m.Scan)
+}
+
+// Contacts returns the number of contacts (link-up events) so far.
+func (m *Manager) Contacts() int { return m.contacts }
+
+// ActiveLinks returns the number of links currently up.
+func (m *Manager) ActiveLinks() int { return len(m.links) }
+
+// ContactDurations returns the sampler of finished contact lengths in
+// seconds (links still up at the horizon are not included).
+func (m *Manager) ContactDurations() *stats.Sampler { return &m.durations }
+
+// ContactLog returns the finished contacts recorded so far (empty unless
+// Config.RecordContacts; links still up at the horizon are not included).
+func (m *Manager) ContactLog() []Contact { return m.contactLog }
+
+// Scan samples positions, diffs the in-range pair set against the active
+// links, and emits link-up/down transitions. Exported for tests; normally
+// driven by Start.
+func (m *Manager) Scan(now float64) {
+	// Radios beacon continuously: charge the scan drain first so nodes that
+	// die this tick drop out of the pair set immediately.
+	if m.energy != nil {
+		for i := range m.hosts {
+			m.energy.drain(i, m.cfg.Energy.ScanPerSec*m.cfg.ScanInterval, now)
+		}
+	}
+	for i, model := range m.models {
+		m.positions[i] = model.Pos(now)
+	}
+	m.grid.Update(m.positions)
+	m.pairBuf = m.grid.Pairs(m.maxRange, m.pairBuf[:0])
+
+	current := make(map[pairKey]bool, len(m.pairBuf))
+	for _, p := range m.pairBuf {
+		if !m.energy.alive(int(p[0])) || !m.energy.alive(int(p[1])) {
+			continue
+		}
+		if !m.inRange(int(p[0]), int(p[1])) {
+			continue
+		}
+		current[pairKey{p[0], p[1]}] = true
+	}
+
+	// Downs first (frees endpoints), in deterministic order.
+	var downs []pairKey
+	for k := range m.links {
+		if !current[k] {
+			downs = append(downs, k)
+		}
+	}
+	sort.Slice(downs, func(i, j int) bool {
+		if downs[i][0] != downs[j][0] {
+			return downs[i][0] < downs[j][0]
+		}
+		return downs[i][1] < downs[j][1]
+	})
+	// Kicks are deferred until every down in this tick is processed, so a
+	// freed endpoint never starts a transfer on a sibling link that is
+	// itself about to drop in the same tick.
+	var freed []int
+	for _, k := range downs {
+		freed = m.linkDown(k, now, freed)
+	}
+
+	// Ups in grid order (already deterministic), skipping existing links
+	// and dead endpoints.
+	for _, p := range m.pairBuf {
+		k := pairKey{p[0], p[1]}
+		if !current[k] {
+			continue
+		}
+		if _, up := m.links[k]; !up {
+			m.linkUp(k, now)
+		}
+	}
+	if len(freed) > 0 {
+		sort.Ints(freed)
+		prev := -1
+		for _, id := range freed {
+			if id != prev {
+				m.kick(id, now)
+				prev = id
+			}
+		}
+	}
+}
+
+// inRange applies the per-node range model: both radios must reach.
+func (m *Manager) inRange(a, b int) bool {
+	if m.ranges == nil {
+		return true // the grid query already enforced the uniform range
+	}
+	r := math.Min(m.ranges[a], m.ranges[b])
+	return m.positions[a].Dist2(m.positions[b]) <= r*r
+}
+
+func (m *Manager) linkUp(k pairKey, now float64) {
+	a, b := m.hosts[k[0]], m.hosts[k[1]]
+	l := &link{key: k, a: a, b: b, upAt: now}
+	l.refusedTo[0] = make(map[msg.ID]bool)
+	l.refusedTo[1] = make(map[msg.ID]bool)
+	m.links[k] = l
+	m.neighbors[k[0]][int(k[1])] = l
+	m.neighbors[k[1]][int(k[0])] = l
+	m.contacts++
+
+	if m.inter != nil {
+		if end, ok := m.lastEnd[k]; ok {
+			m.inter.Add(now - end)
+		}
+	}
+	a.OnLinkUp(b, now)
+	b.OnLinkUp(a, now)
+	m.tryStart(l, now)
+}
+
+// linkDown tears the link down, aborting any in-flight transfer. Endpoints
+// freed by an abort are appended to freed (deduplicated by the caller) so
+// their next transfers start only after the caller finishes its batch of
+// topology changes; the updated slice is returned.
+func (m *Manager) linkDown(k pairKey, now float64, freed []int) []int {
+	l := m.links[k]
+	delete(m.links, k)
+	m.durations.Add(now - l.upAt)
+	if m.cfg.RecordContacts {
+		m.contactLog = append(m.contactLog, Contact{
+			A: int(k[0]), B: int(k[1]), Start: l.upAt, End: now,
+		})
+	}
+	delete(m.neighbors[k[0]], int(k[1]))
+	delete(m.neighbors[k[1]], int(k[0]))
+	m.lastEnd[k] = now
+
+	l.a.OnLinkDown(l.b, now)
+	l.b.OnLinkDown(l.a, now)
+
+	if t := l.active; t != nil {
+		t.done.Cancel()
+		l.active = nil
+		m.busy[t.sender.ID()] = false
+		m.busy[t.receiver.ID()] = false
+		m.chargeTransfer(t, now-t.startedAt, now)
+		m.collector.TransferAborted()
+		// The endpoints are free again; they may have other live links.
+		freed = append(freed, t.sender.ID(), t.receiver.ID())
+	}
+	return freed
+}
+
+// Kick re-evaluates transfer opportunities for host id (used by the world
+// when new traffic appears at a node mid-contact).
+func (m *Manager) Kick(id int, now float64) { m.kick(id, now) }
+
+func (m *Manager) kick(id int, now float64) {
+	peers := make([]int, 0, len(m.neighbors[id]))
+	for p := range m.neighbors[id] {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		l, ok := m.neighbors[id][p]
+		if !ok {
+			continue // the previous iteration may have torn state down
+		}
+		m.tryStart(l, now)
+	}
+}
+
+// tryStart attempts to begin a transfer on l in either direction. The
+// starting direction alternates per attempt for fairness.
+func (m *Manager) tryStart(l *link, now float64) {
+	if l.active != nil || m.busy[l.a.ID()] || m.busy[l.b.ID()] {
+		return
+	}
+	first, second := 0, 1 // 0 = a→b, 1 = b→a
+	if l.flip {
+		first, second = 1, 0
+	}
+	if m.startDirection(l, first, now) {
+		return
+	}
+	m.startDirection(l, second, now)
+}
+
+func (m *Manager) startDirection(l *link, dir int, now float64) bool {
+	sender, receiver := l.a, l.b
+	if dir == 1 {
+		sender, receiver = l.b, l.a
+	}
+	refused := l.refusedTo[dir]
+	for {
+		offer, ok := sender.NextOffer(receiver, func(id msg.ID) bool { return refused[id] })
+		if !ok {
+			return false
+		}
+		if !receiver.PreAccept(offer, now) {
+			refused[offer.S.M.ID] = true
+			m.collector.TransferRefused()
+			continue
+		}
+		t := &transfer{link: l, sender: sender, receiver: receiver, offer: offer, startedAt: now}
+		dur := float64(offer.S.M.Size) / m.cfg.Bandwidth
+		t.done = m.eng.At(now+dur, func(doneAt float64) { m.complete(t, doneAt) })
+		l.active = t
+		l.flip = !l.flip
+		m.busy[sender.ID()] = true
+		m.busy[receiver.ID()] = true
+		m.collector.TransferStarted()
+		return true
+	}
+}
+
+func (m *Manager) complete(t *transfer, now float64) {
+	t.link.active = nil
+	m.busy[t.sender.ID()] = false
+	m.busy[t.receiver.ID()] = false
+	m.chargeTransfer(t, now-t.startedAt, now)
+
+	id := t.offer.S.M.ID
+	switch {
+	case t.offer.S.M.Expired(now):
+		// Died in flight; receiver discards.
+		m.collector.TransferAborted()
+	case !t.sender.Buffer().Has(id):
+		// The sender's copy vanished mid-flight (evicted by a message it
+		// originated, or expired and swept).
+		m.collector.TransferAborted()
+	default:
+		if !routing.CommitTransfer(t.sender, t.receiver, t.offer, now) {
+			// Receiver-side late refusal; don't re-offer this contact.
+			dir := 0
+			if t.sender == t.link.b {
+				dir = 1
+			}
+			t.link.refusedTo[dir][id] = true
+		}
+	}
+	m.kick(t.sender.ID(), now)
+	m.kick(t.receiver.ID(), now)
+}
+
+// chargeTransfer drains both endpoints for elapsed seconds of radio time.
+func (m *Manager) chargeTransfer(t *transfer, elapsed, now float64) {
+	if m.energy == nil || elapsed <= 0 {
+		return
+	}
+	m.energy.drain(t.sender.ID(), m.cfg.Energy.TxPerSec*elapsed, now)
+	m.energy.drain(t.receiver.ID(), m.cfg.Energy.RxPerSec*elapsed, now)
+}

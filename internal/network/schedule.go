@@ -1,0 +1,66 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Contact is one recorded encounter between two nodes, for contact-trace-
+// driven simulation (Haggle/Infocom-style datasets record exactly this).
+type Contact struct {
+	A, B       int
+	Start, End float64
+}
+
+// StartScheduled drives the manager from a recorded contact list instead of
+// the mobility scanner: link-up/down events fire at the listed times and
+// the transfer engine runs unchanged on top. Call instead of Start.
+//
+// Contacts with A == B, End <= Start, or out-of-range ids are rejected.
+// Overlapping contacts for the same pair are merged implicitly (a second
+// "up" while the link is up is ignored; the link stays up until the last
+// scheduled down). The energy model's scan drain does not apply (there is
+// no radio discovery to model); transfer drain still does.
+func (m *Manager) StartScheduled(contacts []Contact) error {
+	n := len(m.hosts)
+	for _, c := range contacts {
+		if c.A == c.B {
+			return fmt.Errorf("network: contact with itself: node %d", c.A)
+		}
+		if c.A < 0 || c.A >= n || c.B < 0 || c.B >= n {
+			return fmt.Errorf("network: contact %d-%d out of range (N=%d)", c.A, c.B, n)
+		}
+		if c.End <= c.Start || c.Start < 0 {
+			return fmt.Errorf("network: contact %d-%d has bad interval [%v,%v]", c.A, c.B, c.Start, c.End)
+		}
+	}
+	sorted := append([]Contact(nil), contacts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	// Track how many overlapping recorded contacts keep each pair up, so
+	// merged intervals behave like one long contact.
+	depth := make(map[pairKey]int)
+	for _, c := range sorted {
+		c := c
+		k := keyOf(c.A, c.B)
+		m.eng.At(c.Start, func(now float64) {
+			depth[k]++
+			if depth[k] == 1 {
+				if _, up := m.links[k]; !up {
+					m.linkUp(k, now)
+				}
+			}
+		})
+		m.eng.At(c.End, func(now float64) {
+			depth[k]--
+			if depth[k] <= 0 {
+				if _, up := m.links[k]; up {
+					for _, id := range m.linkDown(k, now, nil) {
+						m.kick(id, now)
+					}
+				}
+			}
+		})
+	}
+	return nil
+}

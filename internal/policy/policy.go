@@ -1,0 +1,127 @@
+// Package policy implements buffer-management strategies: the scheduling
+// order (which message to transmit first during a contact) and the drop
+// order (which message to evict on overflow).
+//
+// The paper compares four strategies on top of binary Spray-and-Wait:
+//
+//   - FIFO ("Spray and Wait"): send oldest-received first, evict
+//     oldest-received first; newcomers are always accepted.
+//   - SW-O ("Spray and Wait-O"): priority = remaining TTL / initial TTL.
+//   - SW-C ("Spray and Wait-C"): priority = current copies / initial copies.
+//   - SDSRP: priority = Eq. 10 utility from internal/core.
+//
+// Additional strategies (Random, MOFO, LIFO, OracleUtility, SDSRP-Taylor)
+// support the ablations listed in DESIGN.md §8.
+package policy
+
+import (
+	"sort"
+
+	"sdsrp/internal/buffer"
+	"sdsrp/internal/msg"
+)
+
+// View exposes the per-node state a policy may consult when scoring a
+// message. It is implemented by the routing host.
+type View interface {
+	// Now is the current simulation time.
+	Now() float64
+	// Nodes is N, the network size.
+	Nodes() int
+	// Lambda is the node's current intermeeting-rate estimate (may be 0
+	// early in a run).
+	Lambda() float64
+	// EIMin is the estimated minimum-intermeeting expectation E(I_min).
+	EIMin() float64
+	// SeenEstimate returns m̂_i for the copy (SDSRP's Eq. 15 estimator).
+	SeenEstimate(s *msg.Stored) float64
+	// LiveEstimate returns n̂_i for the copy (Eq. 14).
+	LiveEstimate(s *msg.Stored) float64
+	// TrueSeen returns the simulator's ground-truth m_i, for oracle
+	// ablation policies. Implementations without oracle access return
+	// SeenEstimate.
+	TrueSeen(s *msg.Stored) float64
+	// TrueLive returns the ground-truth n_i.
+	TrueLive(s *msg.Stored) float64
+}
+
+// Policy scores messages. Both scores are "higher is better": the highest
+// SendScore is transmitted first; the lowest DropScore is evicted first.
+type Policy interface {
+	Name() string
+	SendScore(v View, s *msg.Stored) float64
+	DropScore(v View, s *msg.Stored) float64
+}
+
+// SendOrder returns the buffered copies sorted into transmission order
+// (first element = next to send). The sort is deterministic: ties break on
+// message ID. The input slice is not modified.
+func SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
+	out := append([]*msg.Stored(nil), items...)
+	scores := make(map[msg.ID]float64, len(out))
+	for _, s := range out {
+		scores[s.M.ID] = p.SendScore(v, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := scores[out[i].M.ID], scores[out[j].M.ID]
+		if si != sj {
+			return si > sj
+		}
+		return out[i].M.ID < out[j].M.ID
+	})
+	return out
+}
+
+// PlanEviction decides whether incoming can be stored in buf, evicting
+// lower-scored victims if needed. It mirrors Algorithm 1 of the paper
+// generalized to heterogeneous sizes: repeatedly compare the lowest
+// DropScore among the buffered messages against the newcomer's; if the
+// newcomer is the weakest, reject it; otherwise evict the weakest and
+// retry. Victims are returned in eviction order; accept reports whether
+// incoming fits after those evictions. buf is not modified.
+func PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (victims []*msg.Stored, accept bool) {
+	if incoming.M.Size > buf.Capacity() {
+		return nil, false
+	}
+	free := buf.Free()
+	if incoming.M.Size <= free {
+		return nil, true
+	}
+	type scored struct {
+		s     *msg.Stored
+		score float64
+	}
+	cands := make([]scored, 0, buf.Len())
+	for _, s := range buf.Items() {
+		cands = append(cands, scored{s, p.DropScore(v, s)})
+	}
+	// Ascending score: weakest first; ties break on ID for determinism.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score < cands[j].score
+		}
+		return cands[i].s.M.ID < cands[j].s.M.ID
+	})
+	inScore := p.DropScore(v, incoming)
+	for _, c := range cands {
+		if free >= incoming.M.Size {
+			break
+		}
+		if !weakerThanIncoming(c.score, inScore, c.s.M.ID, incoming.M.ID) {
+			// The weakest survivor outranks the newcomer: reject.
+			return nil, false
+		}
+		victims = append(victims, c.s)
+		free += c.s.M.Size
+	}
+	return victims, free >= incoming.M.Size
+}
+
+// weakerThanIncoming applies the same ordering as the eviction sort, so the
+// newcomer takes its place in the ranking rather than winning ties.
+func weakerThanIncoming(score, inScore float64, id, inID msg.ID) bool {
+	if score != inScore {
+		return score < inScore
+	}
+	return id < inID
+}

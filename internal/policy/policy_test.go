@@ -1,0 +1,384 @@
+package policy
+
+import (
+	"testing"
+
+	"sdsrp/internal/buffer"
+	"sdsrp/internal/core"
+	"sdsrp/internal/msg"
+	"sdsrp/internal/rng"
+)
+
+// fakeView is a minimal policy.View with fixed estimates per message id.
+type fakeView struct {
+	now    float64
+	nodes  int
+	lambda float64
+	seen   map[msg.ID]float64
+	live   map[msg.ID]float64
+}
+
+func (f *fakeView) Now() float64    { return f.now }
+func (f *fakeView) Nodes() int      { return f.nodes }
+func (f *fakeView) Lambda() float64 { return f.lambda }
+func (f *fakeView) EIMin() float64 {
+	if f.lambda == 0 {
+		return 0
+	}
+	return 1 / (f.lambda * float64(f.nodes-1))
+}
+func (f *fakeView) SeenEstimate(s *msg.Stored) float64 { return f.seen[s.M.ID] }
+func (f *fakeView) LiveEstimate(s *msg.Stored) float64 {
+	if v, ok := f.live[s.M.ID]; ok {
+		return v
+	}
+	return 1
+}
+func (f *fakeView) TrueSeen(s *msg.Stored) float64 { return f.SeenEstimate(s) }
+func (f *fakeView) TrueLive(s *msg.Stored) float64 { return f.LiveEstimate(s) }
+
+func defaultView() *fakeView {
+	return &fakeView{now: 1000, nodes: 100, lambda: 1.0 / 1200,
+		seen: map[msg.ID]float64{}, live: map[msg.ID]float64{}}
+}
+
+func stored(id msg.ID, received float64, copies, initial int, created, ttl float64) *msg.Stored {
+	m := &msg.Message{ID: id, Size: 100, Created: created, TTL: ttl, InitialCopies: initial}
+	return &msg.Stored{M: m, Copies: copies, ReceivedAt: received}
+}
+
+func ids(items []*msg.Stored) []msg.ID {
+	out := make([]msg.ID, len(items))
+	for i, s := range items {
+		out[i] = s.M.ID
+	}
+	return out
+}
+
+func wantIDs(t *testing.T, got []*msg.Stored, want ...msg.ID) {
+	t.Helper()
+	g := ids(got)
+	if len(g) != len(want) {
+		t.Fatalf("got %v, want %v", g, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("got %v, want %v", g, want)
+		}
+	}
+}
+
+func TestFIFOSendOrder(t *testing.T) {
+	v := defaultView()
+	items := []*msg.Stored{
+		stored(1, 300, 4, 16, 0, 18000),
+		stored(2, 100, 4, 16, 0, 18000),
+		stored(3, 200, 4, 16, 0, 18000),
+	}
+	wantIDs(t, SendOrder(FIFO{}, v, items), 2, 3, 1)
+}
+
+func TestTTLRatioSendOrder(t *testing.T) {
+	v := defaultView()
+	items := []*msg.Stored{
+		stored(1, 0, 4, 16, 0, 2000),   // remaining 1000/2000 = 0.5
+		stored(2, 0, 4, 16, 900, 2000), // remaining 1900/2000 = 0.95
+		stored(3, 0, 4, 16, 0, 1100),   // remaining 100/1100 ≈ 0.09
+	}
+	wantIDs(t, SendOrder(TTLRatio{}, v, items), 2, 1, 3)
+}
+
+func TestCopiesRatioSendOrder(t *testing.T) {
+	v := defaultView()
+	items := []*msg.Stored{
+		stored(1, 0, 1, 16, 0, 18000),  // 1/16
+		stored(2, 0, 16, 16, 0, 18000), // 1
+		stored(3, 0, 4, 8, 0, 18000),   // 0.5
+	}
+	wantIDs(t, SendOrder(CopiesRatio{}, v, items), 2, 3, 1)
+}
+
+func TestSDSRPSendOrderPrefersUnspread(t *testing.T) {
+	v := defaultView()
+	// Same copies/TTL; message 2 is known to be far more spread.
+	v.seen[1], v.live[1] = 2, 2
+	v.seen[2], v.live[2] = 80, 40
+	items := []*msg.Stored{
+		stored(1, 0, 8, 16, 0, 18000),
+		stored(2, 0, 8, 16, 0, 18000),
+	}
+	wantIDs(t, SendOrder(SDSRP{}, v, items), 1, 2)
+}
+
+func TestSDSRPNoLambdaFallsBackToTTL(t *testing.T) {
+	v := defaultView()
+	v.lambda = 0
+	items := []*msg.Stored{
+		stored(1, 0, 8, 16, 0, 2000),  // dies at 2000, now=1000
+		stored(2, 0, 8, 16, 0, 18000), // dies much later
+	}
+	wantIDs(t, SendOrder(SDSRP{}, v, items), 2, 1)
+}
+
+func TestSendOrderDeterministicTies(t *testing.T) {
+	v := defaultView()
+	items := []*msg.Stored{
+		stored(3, 100, 4, 16, 0, 18000),
+		stored(1, 100, 4, 16, 0, 18000),
+		stored(2, 100, 4, 16, 0, 18000),
+	}
+	wantIDs(t, SendOrder(FIFO{}, v, items), 1, 2, 3)
+}
+
+func TestSendOrderDoesNotMutateInput(t *testing.T) {
+	v := defaultView()
+	items := []*msg.Stored{
+		stored(1, 300, 4, 16, 0, 18000),
+		stored(2, 100, 4, 16, 0, 18000),
+	}
+	SendOrder(FIFO{}, v, items)
+	if items[0].M.ID != 1 || items[1].M.ID != 2 {
+		t.Fatal("SendOrder reordered the caller's slice")
+	}
+}
+
+func fillBuffer(t *testing.T, entries ...*msg.Stored) *buffer.Buffer {
+	t.Helper()
+	var total int64
+	for _, e := range entries {
+		total += e.M.Size
+	}
+	b := buffer.New(total) // exactly full
+	for _, e := range entries {
+		if err := b.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestPlanEvictionFitsWithoutVictims(t *testing.T) {
+	v := defaultView()
+	b := buffer.New(1000)
+	b.Add(stored(1, 0, 4, 16, 0, 18000))
+	victims, ok := PlanEviction(FIFO{}, v, b, stored(2, 1000, 4, 16, 0, 18000))
+	if !ok || len(victims) != 0 {
+		t.Fatalf("fit case: victims=%v ok=%v", ids(victims), ok)
+	}
+}
+
+func TestPlanEvictionFIFOEvictsOldest(t *testing.T) {
+	v := defaultView()
+	b := fillBuffer(t,
+		stored(1, 100, 4, 16, 0, 18000),
+		stored(2, 50, 4, 16, 0, 18000),
+		stored(3, 200, 4, 16, 0, 18000),
+	)
+	victims, ok := PlanEviction(FIFO{}, v, b, stored(4, 1000, 4, 16, 0, 18000))
+	if !ok {
+		t.Fatal("FIFO rejected a newcomer")
+	}
+	wantIDs(t, victims, 2)
+}
+
+func TestPlanEvictionRejectsWeakNewcomer(t *testing.T) {
+	v := defaultView()
+	// SW-O: newcomer nearly expired, buffered messages fresh -> reject.
+	b := fillBuffer(t,
+		stored(1, 0, 4, 16, 900, 18000),
+		stored(2, 0, 4, 16, 950, 18000),
+	)
+	in := stored(3, 1000, 4, 16, 0, 1001) // remaining 1/1001
+	victims, ok := PlanEviction(TTLRatio{}, v, b, in)
+	if ok || victims != nil {
+		t.Fatalf("weak newcomer accepted: victims=%v", ids(victims))
+	}
+}
+
+func TestPlanEvictionMultipleVictims(t *testing.T) {
+	v := defaultView()
+	small1 := stored(1, 10, 4, 16, 0, 18000)
+	small2 := stored(2, 20, 4, 16, 0, 18000)
+	big := &msg.Stored{M: &msg.Message{ID: 3, Size: 200, Created: 0, TTL: 18000, InitialCopies: 16}, Copies: 4, ReceivedAt: 900}
+	b := fillBuffer(t, small1, small2) // capacity 200, full
+	victims, ok := PlanEviction(FIFO{}, v, b, big)
+	if !ok {
+		t.Fatal("big newcomer rejected despite evictable victims")
+	}
+	wantIDs(t, victims, 1, 2)
+}
+
+func TestPlanEvictionStopsEarly(t *testing.T) {
+	v := defaultView()
+	b := buffer.New(250)
+	b.Add(stored(1, 10, 4, 16, 0, 18000))
+	b.Add(stored(2, 20, 4, 16, 0, 18000)) // used 200, free 50
+	victims, ok := PlanEviction(FIFO{}, v, b, stored(3, 900, 4, 16, 0, 18000))
+	if !ok {
+		t.Fatal("rejected")
+	}
+	wantIDs(t, victims, 1) // one eviction suffices (100 freed + 50 free)
+}
+
+func TestPlanEvictionOversizedMessage(t *testing.T) {
+	v := defaultView()
+	b := buffer.New(150)
+	in := &msg.Stored{M: &msg.Message{ID: 1, Size: 151, TTL: 10}, Copies: 1}
+	if _, ok := PlanEviction(FIFO{}, v, b, in); ok {
+		t.Fatal("message larger than capacity accepted")
+	}
+}
+
+func TestPlanEvictionPartialRejection(t *testing.T) {
+	// The newcomer outranks one victim but not the next: rejection, and no
+	// victims reported (nothing should be dropped for a refused message).
+	v := defaultView()
+	b := fillBuffer(t,
+		stored(1, 0, 4, 16, 500, 18000), // ratio (18000-500)/18000
+		stored(2, 0, 4, 16, 990, 18000), // fresher
+	)
+	in := &msg.Stored{M: &msg.Message{ID: 3, Size: 200, Created: 800, TTL: 18000, InitialCopies: 16}, Copies: 4, ReceivedAt: 1000}
+	victims, ok := PlanEviction(TTLRatio{}, v, b, in)
+	if ok {
+		t.Fatal("accepted though the second victim outranks the newcomer")
+	}
+	if victims != nil {
+		t.Fatalf("rejection must not name victims, got %v", ids(victims))
+	}
+}
+
+func TestMOFODropsMostForwarded(t *testing.T) {
+	v := defaultView()
+	a := stored(1, 10, 4, 16, 0, 18000)
+	a.Forwarded = 5
+	bb := stored(2, 20, 4, 16, 0, 18000)
+	bb.Forwarded = 1
+	b := fillBuffer(t, a, bb)
+	victims, ok := PlanEviction(MOFO{}, v, b, stored(3, 900, 4, 16, 0, 18000))
+	if !ok {
+		t.Fatal("rejected")
+	}
+	wantIDs(t, victims, 1)
+}
+
+func TestLIFOEvictsNewest(t *testing.T) {
+	v := defaultView()
+	b := fillBuffer(t,
+		stored(1, 10, 4, 16, 0, 18000),
+		stored(2, 500, 4, 16, 0, 18000),
+	)
+	// Newcomer received now (newest of all): it is the weakest -> rejected.
+	if _, ok := PlanEviction(LIFO{}, v, b, stored(3, 1000, 4, 16, 0, 18000)); ok {
+		t.Fatal("LIFO accepted the newest message")
+	}
+}
+
+func TestRandomPolicyDeterministicStream(t *testing.T) {
+	v := defaultView()
+	items := []*msg.Stored{
+		stored(1, 0, 4, 16, 0, 18000),
+		stored(2, 0, 4, 16, 0, 18000),
+		stored(3, 0, 4, 16, 0, 18000),
+	}
+	a := SendOrder(NewRandom(rng.New(5)), v, items)
+	b := SendOrder(NewRandom(rng.New(5)), v, items)
+	for i := range a {
+		if a[i].M.ID != b[i].M.ID {
+			t.Fatal("Random policy not reproducible from equal seeds")
+		}
+	}
+}
+
+func TestOracleUtilityUsesTruth(t *testing.T) {
+	v := defaultView()
+	v.seen[1], v.live[1] = 0, 1 // estimates say unspread
+	// fakeView's TrueSeen == SeenEstimate, so Oracle and SDSRP agree here.
+	s := stored(1, 0, 8, 16, 0, 18000)
+	if (OracleUtility{}).SendScore(v, s) != (SDSRP{}).SendScore(v, s) {
+		t.Fatal("oracle and estimate disagree on identical inputs")
+	}
+}
+
+func TestSDSRPTaylorApproachesSDSRP(t *testing.T) {
+	v := defaultView()
+	v.seen[1], v.live[1] = 10, 5
+	s := stored(1, 0, 8, 16, 0, 18000)
+	exact := SDSRP{}.SendScore(v, s)
+	k1 := SDSRPTaylor{K: 1}.SendScore(v, s)
+	k8 := SDSRPTaylor{K: 8}.SendScore(v, s)
+	k64 := SDSRPTaylor{K: 64}.SendScore(v, s)
+	if !(abs(k64-exact) <= abs(k8-exact) && abs(k8-exact) <= abs(k1-exact)) {
+		t.Fatalf("Taylor error not shrinking: k1=%v k8=%v k64=%v exact=%v", k1, k8, k64, exact)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestByName(t *testing.T) {
+	stream := rng.New(1)
+	for _, name := range []string{"SprayAndWait", "SprayAndWait-O", "SprayAndWait-C",
+		"SDSRP", "OracleUtility", "Random", "MOFO", "LIFO", "SDSRP-Taylor3"} {
+		p, err := ByName(name, stream)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("ByName(%q) returned unnamed policy", name)
+		}
+	}
+	if _, err := ByName("Bogus", stream); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if p, err := ByName("SDSRP-Taylor3", stream); err != nil || p.Name() != "SDSRP-Taylor3" {
+		t.Fatalf("Taylor parse wrong: %v %v", p, err)
+	}
+}
+
+// The priority inversion at the heart of the paper (Fig. 2) must flow
+// through the policy layer: with SDSRP the scarce, urgent message outranks
+// the widely-spread one even though SW-O and SW-C both rank it last.
+func TestSDSRPDisagreesWithHeuristics(t *testing.T) {
+	v := defaultView()
+	v.seen[1], v.live[1] = 60, 40
+	v.seen[2], v.live[2] = 4, 3
+	spread := stored(1, 0, 16, 64, 0, 18000) // high copies & TTL, widely seen
+	scarce := stored(2, 0, 2, 64, 0, 3500)   // few copies, short TTL, barely seen
+	items := []*msg.Stored{spread, scarce}
+
+	wantIDs(t, SendOrder(SDSRP{}, v, items), 2, 1)
+	wantIDs(t, SendOrder(TTLRatio{}, v, items), 1, 2)
+	wantIDs(t, SendOrder(CopiesRatio{}, v, items), 1, 2)
+	_ = core.PeakPR // documents why: the spread message sits past the peak
+}
+
+func BenchmarkSendOrder(b *testing.B) {
+	v := defaultView()
+	var items []*msg.Stored
+	for i := 0; i < 8; i++ {
+		items = append(items, stored(msg.ID(i+1), float64(i*100), 1+i%16, 32, 0, 18000))
+		v.seen[msg.ID(i+1)] = float64(i * 5)
+		v.live[msg.ID(i+1)] = float64(1 + i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SendOrder(SDSRP{}, v, items)
+	}
+}
+
+func BenchmarkPlanEviction(b *testing.B) {
+	v := defaultView()
+	buf := buffer.New(800)
+	for i := 0; i < 8; i++ {
+		buf.Add(stored(msg.ID(i+1), float64(i*100), 1+i%16, 32, 0, 18000))
+	}
+	incoming := stored(99, 1000, 8, 32, 500, 18000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PlanEviction(SDSRP{}, v, buf, incoming)
+	}
+}

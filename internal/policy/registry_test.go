@@ -1,0 +1,45 @@
+package policy
+
+import (
+	"testing"
+
+	"sdsrp/internal/msg"
+	"sdsrp/internal/rng"
+)
+
+type constPolicy struct{ v float64 }
+
+func (p constPolicy) Name() string                            { return "Const" }
+func (p constPolicy) SendScore(View, *msg.Stored) float64     { return p.v }
+func (p constPolicy) DropScore(v View, s *msg.Stored) float64 { return p.v }
+
+func TestRegisterAndResolve(t *testing.T) {
+	if err := Register("TestConst", func(*rng.Stream) Policy { return constPolicy{v: 7} }); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ByName("TestConst", rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SendScore(nil, nil) != 7 {
+		t.Fatal("registered policy not constructed")
+	}
+}
+
+func TestRegisterRejectsBuiltinsAndDuplicates(t *testing.T) {
+	if err := Register("SDSRP", func(*rng.Stream) Policy { return constPolicy{} }); err == nil {
+		t.Fatal("built-in name overridden")
+	}
+	if err := Register("SDSRP-Taylor9", func(*rng.Stream) Policy { return constPolicy{} }); err == nil {
+		t.Fatal("built-in Taylor pattern overridden")
+	}
+	if err := Register("", nil); err == nil {
+		t.Fatal("empty registration accepted")
+	}
+	if err := Register("TestDup", func(*rng.Stream) Policy { return constPolicy{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("TestDup", func(*rng.Stream) Policy { return constPolicy{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package policy
+
+import (
+	"sdsrp/internal/core"
+	"sdsrp/internal/msg"
+)
+
+// Knapsack is the size-aware variant of SDSRP in the spirit of the
+// authors' follow-up knapsack formulation (EWSN 2015, reference [11] of
+// the paper): with heterogeneous payloads, buffer space is the knapsack
+// capacity and each message's value is its Eq. 10 marginal delivery
+// utility, so the score is utility per byte. With uniform payloads it
+// orders identically to SDSRP.
+type Knapsack struct{}
+
+// Name implements Policy.
+func (Knapsack) Name() string { return "Knapsack" }
+
+func knapsackScore(v View, s *msg.Stored) float64 {
+	lambda := v.Lambda()
+	if lambda <= 0 {
+		return s.M.Remaining(v.Now()) * 1e-12
+	}
+	u := core.Priority(v.SeenEstimate(s), v.LiveEstimate(s), s.Copies,
+		s.M.Remaining(v.Now()), v.Nodes(), lambda)
+	return u / float64(s.M.Size)
+}
+
+// SendScore implements Policy.
+func (Knapsack) SendScore(v View, s *msg.Stored) float64 { return knapsackScore(v, s) }
+
+// DropScore implements Policy.
+func (Knapsack) DropScore(v View, s *msg.Stored) float64 { return knapsackScore(v, s) }
+
+// DropLargest evicts the biggest message first ("DLA" in the DTN buffer
+// management literature): one eviction frees the most space. Transmission
+// order is smallest-first, squeezing more messages through short contacts.
+type DropLargest struct{}
+
+// Name implements Policy.
+func (DropLargest) Name() string { return "DropLargest" }
+
+// SendScore implements Policy: smaller messages first (higher score).
+func (DropLargest) SendScore(_ View, s *msg.Stored) float64 { return -float64(s.M.Size) }
+
+// DropScore implements Policy: larger messages evicted first (lower score).
+func (DropLargest) DropScore(_ View, s *msg.Stored) float64 { return -float64(s.M.Size) }

@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"fmt"
+
+	"sdsrp/internal/core"
+	"sdsrp/internal/msg"
+	"sdsrp/internal/rng"
+)
+
+// FIFO is the paper's plain "Spray and Wait" buffer management: transmit the
+// oldest-received message first and evict the oldest-received message on
+// overflow (newcomers always win).
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "SprayAndWait" }
+
+// SendScore implements Policy: older copies transmit first.
+func (FIFO) SendScore(_ View, s *msg.Stored) float64 { return -s.ReceivedAt }
+
+// DropScore implements Policy: older copies evict first.
+func (FIFO) DropScore(_ View, s *msg.Stored) float64 { return s.ReceivedAt }
+
+// TTLRatio is "Spray and Wait-O": priority is the ratio between the
+// remaining TTL and the initial TTL. Fresh messages are transmitted first;
+// messages about to expire are evicted first.
+type TTLRatio struct{}
+
+// Name implements Policy.
+func (TTLRatio) Name() string { return "SprayAndWait-O" }
+
+func ttlRatio(v View, s *msg.Stored) float64 {
+	if s.M.TTL <= 0 {
+		return 0
+	}
+	return s.M.Remaining(v.Now()) / s.M.TTL
+}
+
+// SendScore implements Policy.
+func (TTLRatio) SendScore(v View, s *msg.Stored) float64 { return ttlRatio(v, s) }
+
+// DropScore implements Policy.
+func (TTLRatio) DropScore(v View, s *msg.Stored) float64 { return ttlRatio(v, s) }
+
+// CopiesRatio is "Spray and Wait-C": priority is the ratio between the
+// current copy count and the initial copy count. Token-rich messages are
+// transmitted first; wait-phase messages are evicted first.
+type CopiesRatio struct{}
+
+// Name implements Policy.
+func (CopiesRatio) Name() string { return "SprayAndWait-C" }
+
+func copiesRatio(s *msg.Stored) float64 {
+	if s.M.InitialCopies <= 0 {
+		return 0
+	}
+	return float64(s.Copies) / float64(s.M.InitialCopies)
+}
+
+// SendScore implements Policy.
+func (CopiesRatio) SendScore(_ View, s *msg.Stored) float64 { return copiesRatio(s) }
+
+// DropScore implements Policy.
+func (CopiesRatio) DropScore(_ View, s *msg.Stored) float64 { return copiesRatio(s) }
+
+// SDSRP is the paper's strategy: both orders are driven by the Eq. 10
+// utility, evaluated with the node's distributed estimates of m̂_i and n̂_i.
+type SDSRP struct{}
+
+// Name implements Policy.
+func (SDSRP) Name() string { return "SDSRP" }
+
+func sdsrpScore(v View, s *msg.Stored) float64 {
+	lambda := v.Lambda()
+	if lambda <= 0 {
+		// No rate information yet: fall back to remaining-TTL ordering so
+		// early-run behaviour is sane rather than arbitrary.
+		return s.M.Remaining(v.Now()) * 1e-12
+	}
+	return core.Priority(v.SeenEstimate(s), v.LiveEstimate(s), s.Copies,
+		s.M.Remaining(v.Now()), v.Nodes(), lambda)
+}
+
+// SendScore implements Policy.
+func (SDSRP) SendScore(v View, s *msg.Stored) float64 { return sdsrpScore(v, s) }
+
+// DropScore implements Policy.
+func (SDSRP) DropScore(v View, s *msg.Stored) float64 { return sdsrpScore(v, s) }
+
+// SDSRPTaylor is SDSRP with the Eq. 13 k-term Taylor approximation instead
+// of the closed-form utility — the paper's reduced-computation variant.
+type SDSRPTaylor struct {
+	K int
+}
+
+// Name implements Policy.
+func (p SDSRPTaylor) Name() string { return fmt.Sprintf("SDSRP-Taylor%d", p.K) }
+
+func (p SDSRPTaylor) score(v View, s *msg.Stored) float64 {
+	lambda := v.Lambda()
+	if lambda <= 0 {
+		return s.M.Remaining(v.Now()) * 1e-12
+	}
+	live := v.LiveEstimate(s)
+	pT := core.ProbDelivered(v.SeenEstimate(s), v.Nodes())
+	pR := core.ProbWillDeliver(live, s.Copies, s.M.Remaining(v.Now()), v.Nodes(), lambda)
+	return core.TaylorPriority(pT, pR, live, p.K)
+}
+
+// SendScore implements Policy.
+func (p SDSRPTaylor) SendScore(v View, s *msg.Stored) float64 { return p.score(v, s) }
+
+// DropScore implements Policy.
+func (p SDSRPTaylor) DropScore(v View, s *msg.Stored) float64 { return p.score(v, s) }
+
+// OracleUtility is the GBSD-style upper bound: the Eq. 10 utility computed
+// from the simulator's ground-truth m_i and n_i instead of the distributed
+// estimates. Only meaningful with a View wired to the oracle.
+type OracleUtility struct{}
+
+// Name implements Policy.
+func (OracleUtility) Name() string { return "OracleUtility" }
+
+func oracleScore(v View, s *msg.Stored) float64 {
+	lambda := v.Lambda()
+	if lambda <= 0 {
+		return s.M.Remaining(v.Now()) * 1e-12
+	}
+	return core.Priority(v.TrueSeen(s), v.TrueLive(s), s.Copies,
+		s.M.Remaining(v.Now()), v.Nodes(), lambda)
+}
+
+// SendScore implements Policy.
+func (OracleUtility) SendScore(v View, s *msg.Stored) float64 { return oracleScore(v, s) }
+
+// DropScore implements Policy.
+func (OracleUtility) DropScore(v View, s *msg.Stored) float64 { return oracleScore(v, s) }
+
+// Random schedules and evicts uniformly at random (a common DTN baseline).
+// Scores are drawn from a deterministic stream, so runs remain reproducible.
+type Random struct {
+	S *rng.Stream
+}
+
+// NewRandom returns a Random policy drawing from stream s.
+func NewRandom(s *rng.Stream) Random { return Random{S: s} }
+
+// Name implements Policy.
+func (Random) Name() string { return "Random" }
+
+// SendScore implements Policy.
+func (r Random) SendScore(_ View, _ *msg.Stored) float64 { return r.S.Float64() }
+
+// DropScore implements Policy.
+func (r Random) DropScore(_ View, _ *msg.Stored) float64 { return r.S.Float64() }
+
+// MOFO ("evict most forwarded first", Lindgren & Phanse) transmits in FIFO
+// order but evicts the copy this node has forwarded most often, on the
+// theory that it has already had its share of spreading.
+type MOFO struct{}
+
+// Name implements Policy.
+func (MOFO) Name() string { return "MOFO" }
+
+// SendScore implements Policy.
+func (MOFO) SendScore(_ View, s *msg.Stored) float64 { return -s.ReceivedAt }
+
+// DropScore implements Policy.
+func (MOFO) DropScore(_ View, s *msg.Stored) float64 { return -float64(s.Forwarded) }
+
+// LIFO evicts the newest-received message first (the newcomer loses unless
+// something even newer is buffered) and transmits newest first.
+type LIFO struct{}
+
+// Name implements Policy.
+func (LIFO) Name() string { return "LIFO" }
+
+// SendScore implements Policy.
+func (LIFO) SendScore(_ View, s *msg.Stored) float64 { return s.ReceivedAt }
+
+// DropScore implements Policy.
+func (LIFO) DropScore(_ View, s *msg.Stored) float64 { return -s.ReceivedAt }
+
+// ByName returns the policy with the given name, using stream for policies
+// that need randomness. Recognized names: SprayAndWait (FIFO), SprayAndWait-O,
+// SprayAndWait-C, SDSRP, SDSRP-Taylor<k>, OracleUtility, Random, MOFO, LIFO.
+func ByName(name string, stream *rng.Stream) (Policy, error) {
+	switch name {
+	case "SprayAndWait", "FIFO":
+		return FIFO{}, nil
+	case "SprayAndWait-O", "SWO":
+		return TTLRatio{}, nil
+	case "SprayAndWait-C", "SWC":
+		return CopiesRatio{}, nil
+	case "SDSRP":
+		return SDSRP{}, nil
+	case "OracleUtility":
+		return OracleUtility{}, nil
+	case "Random":
+		return NewRandom(stream), nil
+	case "MOFO":
+		return MOFO{}, nil
+	case "LIFO":
+		return LIFO{}, nil
+	case "Knapsack":
+		return Knapsack{}, nil
+	case "DropLargest":
+		return DropLargest{}, nil
+	}
+	var k int
+	if n, _ := fmt.Sscanf(name, "SDSRP-Taylor%d", &k); n == 1 && k >= 1 {
+		return SDSRPTaylor{K: k}, nil
+	}
+	if p, ok := fromRegistry(name, stream); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("policy: unknown strategy %q", name)
+}

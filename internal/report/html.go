@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HTML renders a set of panels as one self-contained page: inline SVG
+// charts next to their data tables, grouped under section headings. It is
+// what `cmd/experiments -html` writes, so a whole reproduction run can be
+// reviewed in a browser without any tooling.
+func HTML(title string, sections []Section) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n")
+	b.WriteString(`<meta charset="utf-8">` + "\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", xmlEscape(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 1000px; margin: 2rem auto; padding: 0 1rem; color: #222; }
+h1 { border-bottom: 2px solid #ddd; padding-bottom: .3rem; }
+h2 { margin-top: 2.5rem; border-bottom: 1px solid #eee; }
+table { border-collapse: collapse; font-size: .85rem; margin: 1rem 0; }
+th, td { border: 1px solid #ddd; padding: .25rem .6rem; text-align: right; }
+th { background: #f5f5f5; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .8rem; color: #666; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", xmlEscape(title))
+	for _, sec := range sections {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", xmlEscape(sec.Title))
+		if sec.Note != "" {
+			fmt.Fprintf(&b, "<p>%s</p>\n", xmlEscape(sec.Note))
+		}
+		for i := range sec.Panels {
+			p := &sec.Panels[i]
+			b.WriteString("<figure>\n")
+			b.WriteString(p.SVG())
+			fmt.Fprintf(&b, "<figcaption>%s — %s</figcaption>\n", xmlEscape(p.ID), xmlEscape(p.Title))
+			b.WriteString("</figure>\n")
+			b.WriteString(p.HTMLTable())
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// Section groups panels under a heading in an HTML report.
+type Section struct {
+	Title  string
+	Note   string
+	Panels []Panel
+}
+
+// HTMLTable renders the panel's data as an HTML table.
+func (p *Panel) HTMLTable() string {
+	var b strings.Builder
+	b.WriteString("<table>\n<tr><th>" + xmlEscape(p.XLabel) + "</th>")
+	for _, c := range p.Curves {
+		b.WriteString("<th>" + xmlEscape(c.Label) + "</th>")
+	}
+	b.WriteString("</tr>\n")
+	ticks := p.ticks()
+	for i := range p.X {
+		b.WriteString("<tr><td>" + xmlEscape(ticks[i]) + "</td>")
+		for _, c := range p.Curves {
+			b.WriteString("<td>" + formatCell(c.Y[i]) + "</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}

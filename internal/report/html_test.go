@@ -1,0 +1,41 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	out := HTML("SDSRP reproduction", []Section{
+		{Title: "Fig. 8", Note: "random waypoint", Panels: []Panel{*samplePanel()}},
+	})
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<title>SDSRP reproduction</title>",
+		"<h2>Fig. 8</h2>",
+		"<svg",
+		"<figcaption>fig8a",
+		"<th>SDSRP</th>",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapes(t *testing.T) {
+	p := samplePanel()
+	p.Title = "<b>bold</b>"
+	out := HTML(`x"y`, []Section{{Title: "<i>", Panels: []Panel{*p}}})
+	if strings.Contains(out, "<b>bold</b>") || strings.Contains(out, "<h2><i></h2>") {
+		t.Fatal("HTML injection not escaped")
+	}
+}
+
+func TestHTMLTableRowCount(t *testing.T) {
+	table := samplePanel().HTMLTable()
+	if got := strings.Count(table, "<tr>"); got != 4 { // header + 3 rows
+		t.Fatalf("rows = %d", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package report renders experiment results as tables (markdown / TSV) and
+// ASCII line charts, so every figure of the paper can be regenerated as
+// text from cmd/experiments.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Curve is one line on a panel (one policy's metric over the sweep).
+type Curve struct {
+	Label string
+	Y     []float64
+}
+
+// Panel is one sub-figure, e.g. Fig. 8-(a): a metric as a function of one
+// swept parameter, one curve per policy.
+type Panel struct {
+	ID     string // e.g. "fig8a"
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks labels the sweep points (defaults to formatted X when nil).
+	XTicks []string
+	X      []float64
+	Curves []Curve
+}
+
+// Validate reports structural problems (mismatched lengths).
+func (p *Panel) Validate() error {
+	if len(p.X) == 0 {
+		return fmt.Errorf("report: panel %s has no sweep points", p.ID)
+	}
+	if p.XTicks != nil && len(p.XTicks) != len(p.X) {
+		return fmt.Errorf("report: panel %s has %d ticks for %d points", p.ID, len(p.XTicks), len(p.X))
+	}
+	for _, c := range p.Curves {
+		if len(c.Y) != len(p.X) {
+			return fmt.Errorf("report: panel %s curve %q has %d values for %d points",
+				p.ID, c.Label, len(c.Y), len(p.X))
+		}
+	}
+	return nil
+}
+
+func (p *Panel) ticks() []string {
+	if p.XTicks != nil {
+		return p.XTicks
+	}
+	out := make([]string, len(p.X))
+	for i, x := range p.X {
+		out[i] = formatNum(x)
+	}
+	return out
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case math.IsInf(v, 0):
+		return "inf"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Markdown renders the panel as a markdown table: one row per sweep point,
+// one column per curve.
+func (p *Panel) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", p.ID, p.Title)
+	ticks := p.ticks()
+	b.WriteString("| " + p.XLabel)
+	for _, c := range p.Curves {
+		b.WriteString(" | " + c.Label)
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(p.Curves); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for i := range p.X {
+		b.WriteString("| " + ticks[i])
+		for _, c := range p.Curves {
+			b.WriteString(" | " + formatCell(c.Y[i]))
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// TSV renders the panel as a tab-separated table with a header row.
+func (p *Panel) TSV() string {
+	var b strings.Builder
+	b.WriteString(p.XLabel)
+	for _, c := range p.Curves {
+		b.WriteString("\t" + c.Label)
+	}
+	b.WriteString("\n")
+	ticks := p.ticks()
+	for i := range p.X {
+		b.WriteString(ticks[i])
+		for _, c := range p.Curves {
+			fmt.Fprintf(&b, "\t%g", c.Y[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// curveMarks are the per-curve plotting glyphs, in curve order.
+var curveMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders an ASCII line chart of the panel, height rows tall
+// (minimum 6). Curves are drawn with distinct glyphs; a legend follows.
+func (p *Panel) Chart(height int) string {
+	if height < 6 {
+		height = 6
+	}
+	width := len(p.X)*6 + 2
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range p.Curves {
+		for _, v := range c.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) { // no finite data
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int { return 2 + i*6 }
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for ci, c := range p.Curves {
+		mark := curveMarks[ci%len(curveMarks)]
+		for i, v := range c.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			grid[row(v)][col(i)] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (y: %s)\n", p.ID, p.Title, p.YLabel)
+	for r, line := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10s |%s\n", formatCell(yVal), string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	// X tick row (abbreviated to fit the 6-char pitch).
+	tickLine := []byte(strings.Repeat(" ", width+12))
+	for i, tk := range p.ticks() {
+		if len(tk) > 5 {
+			tk = tk[:5]
+		}
+		copy(tickLine[12+col(i)-len(tk)/2:], tk)
+	}
+	b.WriteString(strings.TrimRight(string(tickLine), " ") + "\n")
+	for ci, c := range p.Curves {
+		fmt.Fprintf(&b, "  %c %s\n", curveMarks[ci%len(curveMarks)], c.Label)
+	}
+	return b.String()
+}

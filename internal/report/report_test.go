@@ -1,0 +1,142 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePanel() *Panel {
+	return &Panel{
+		ID: "fig8a", Title: "Delivery ratio vs copies",
+		XLabel: "L", YLabel: "delivery ratio",
+		X: []float64{16, 20, 24},
+		Curves: []Curve{
+			{Label: "SDSRP", Y: []float64{0.30, 0.32, 0.33}},
+			{Label: "FIFO", Y: []float64{0.25, 0.24, 0.22}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := samplePanel()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Curves[0].Y = p.Curves[0].Y[:2]
+	if err := p.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	empty := &Panel{ID: "x"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+	ticks := samplePanel()
+	ticks.XTicks = []string{"a"}
+	if err := ticks.Validate(); err == nil {
+		t.Fatal("tick mismatch accepted")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := samplePanel().Markdown()
+	for _, want := range []string{"fig8a", "| L | SDSRP | FIFO |", "| 16 | 0.3000 | 0.2500 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTSV(t *testing.T) {
+	tsv := samplePanel().TSV()
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tsv lines = %d", len(lines))
+	}
+	if lines[0] != "L\tSDSRP\tFIFO" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "16\t0.3\t0.25" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTSVCustomTicks(t *testing.T) {
+	p := samplePanel()
+	p.XTicks = []string{"10-15", "15-20", "20-25"}
+	tsv := p.TSV()
+	if !strings.Contains(tsv, "10-15\t") {
+		t.Fatalf("custom ticks missing:\n%s", tsv)
+	}
+}
+
+func TestChartContainsCurvesAndLegend(t *testing.T) {
+	ch := samplePanel().Chart(10)
+	if !strings.Contains(ch, "*") || !strings.Contains(ch, "o") {
+		t.Fatalf("chart missing glyphs:\n%s", ch)
+	}
+	if !strings.Contains(ch, "* SDSRP") || !strings.Contains(ch, "o FIFO") {
+		t.Fatalf("chart missing legend:\n%s", ch)
+	}
+}
+
+func TestChartHandlesDegenerateData(t *testing.T) {
+	p := &Panel{ID: "flat", XLabel: "x", YLabel: "y",
+		X:      []float64{1, 2},
+		Curves: []Curve{{Label: "c", Y: []float64{5, 5}}}}
+	if ch := p.Chart(6); !strings.Contains(ch, "c") {
+		t.Fatal("flat chart broken")
+	}
+	nan := &Panel{ID: "nan", XLabel: "x", YLabel: "y",
+		X:      []float64{1},
+		Curves: []Curve{{Label: "c", Y: []float64{math.NaN()}}}}
+	_ = nan.Chart(6) // must not panic
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean([]float64{1, math.NaN(), 3}); m != 2 {
+		t.Fatalf("Mean with NaN = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty not NaN")
+	}
+}
+
+func TestWinFraction(t *testing.T) {
+	a := []float64{3, 3, 1}
+	b := []float64{1, 3, 2}
+	if w := WinFraction(a, b); w != 0.5 { // win, tie, loss
+		t.Fatalf("WinFraction = %v", w)
+	}
+	if !math.IsNaN(WinFraction(a, b[:2])) {
+		t.Fatal("mismatched lengths not NaN")
+	}
+}
+
+func TestTrend(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	up := []float64{0, 2, 4, 6}
+	if s := Trend(x, up); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("Trend up = %v", s)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if s := Trend(x, flat); math.Abs(s) > 1e-12 {
+		t.Fatalf("Trend flat = %v", s)
+	}
+	if !math.IsNaN(Trend(x[:1], up[:1])) {
+		t.Fatal("single point trend not NaN")
+	}
+}
+
+func TestCurveByLabel(t *testing.T) {
+	p := samplePanel()
+	if c := p.CurveByLabel("FIFO"); c == nil || c.Y[0] != 0.25 {
+		t.Fatal("CurveByLabel failed")
+	}
+	if p.CurveByLabel("missing") != nil {
+		t.Fatal("missing label found")
+	}
+}

@@ -1,0 +1,72 @@
+package report
+
+import "math"
+
+// Mean returns the arithmetic mean of the finite values in y (NaN when none
+// are finite).
+func Mean(y []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// WinFraction returns the fraction of indices where a[i] > b[i], counting
+// ties as half. It is the shape check used to confirm curve orderings
+// ("SDSRP above FIFO across the sweep").
+func WinFraction(a, b []float64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return math.NaN()
+	}
+	var wins float64
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			wins++
+		case a[i] == b[i]:
+			wins += 0.5
+		}
+	}
+	return wins / float64(len(a))
+}
+
+// Trend returns the least-squares slope of y against x, ignoring non-finite
+// values. It quantifies "rising" (positive) vs "falling" (negative) curves.
+func Trend(x, y []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for i := range x {
+		if i >= len(y) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			continue
+		}
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		n++
+	}
+	den := n*sxx - sx*sx
+	if n < 2 || den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// CurveByLabel finds a curve in a panel, or nil.
+func (p *Panel) CurveByLabel(label string) *Curve {
+	for i := range p.Curves {
+		if p.Curves[i].Label == label {
+			return &p.Curves[i]
+		}
+	}
+	return nil
+}

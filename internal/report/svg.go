@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the per-curve stroke colours (colour-blind-safe).
+var svgPalette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// svgLayout fixes the chart geometry in pixels.
+const (
+	svgW       = 720
+	svgH       = 420
+	svgLeft    = 70
+	svgRight   = 20
+	svgTop     = 40
+	svgBottom  = 60
+	svgLegendY = 18
+)
+
+// SVG renders the panel as a standalone SVG line chart: axes with ticks,
+// one polyline + markers per curve, and a legend. Non-finite values break
+// the polyline rather than distorting the scale.
+func (p *Panel) SVG() string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range p.Curves {
+		for _, v := range c.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.08
+	lo, hi = lo-pad, hi+pad
+
+	xlo, xhi := p.X[0], p.X[len(p.X)-1]
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	plotW := float64(svgW - svgLeft - svgRight)
+	plotH := float64(svgH - svgTop - svgBottom)
+	px := func(x float64) float64 { return svgLeft + (x-xlo)/(xhi-xlo)*plotW }
+	py := func(y float64) float64 { return svgTop + (1-(y-lo)/(hi-lo))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s — %s</text>`+"\n",
+		svgLeft, xmlEscape(p.ID), xmlEscape(p.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgLeft, svgTop, svgLeft, svgH-svgBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgLeft, svgH-svgBottom, svgW-svgRight, svgH-svgBottom)
+
+	// Y ticks (5).
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		y := py(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			svgLeft, y, svgW-svgRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			svgLeft-6, y+4, formatCell(v))
+	}
+	// X ticks: every point when few, else ~8 evenly spaced.
+	ticks := p.ticks()
+	step := 1
+	if len(ticks) > 8 {
+		step = (len(ticks) + 7) / 8
+	}
+	for i := 0; i < len(p.X); i += step {
+		x := px(p.X[i])
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, svgH-svgBottom, x, svgH-svgBottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, svgH-svgBottom+20, xmlEscape(ticks[i]))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		svgLeft+int(plotW/2), svgH-12, xmlEscape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		svgTop+int(plotH/2), svgTop+int(plotH/2), xmlEscape(p.YLabel))
+
+	// Curves.
+	for ci, c := range p.Curves {
+		colour := svgPalette[ci%len(svgPalette)]
+		var seg []string
+		flush := func() {
+			if len(seg) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+					strings.Join(seg, " "), colour)
+			}
+			seg = seg[:0]
+		}
+		for i, v := range c.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				flush()
+				continue
+			}
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", px(p.X[i]), py(v)))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				px(p.X[i]), py(v), colour)
+		}
+		flush()
+		// Legend entry.
+		lx := svgLeft + 10 + ci*160
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			lx, svgTop-svgLegendY, colour)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+16, svgTop-svgLegendY+10, xmlEscape(c.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	out := samplePanel().SVG()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSVGContainsCurvesAndLabels(t *testing.T) {
+	out := samplePanel().SVG()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	for _, want := range []string{"SDSRP", "FIFO", "delivery ratio", "fig8a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One marker per finite point.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("markers = %d, want 6", got)
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	p := samplePanel()
+	p.Title = `<script>&"attack"`
+	out := p.SVG()
+	if strings.Contains(out, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;&amp;&quot;attack&quot;") {
+		t.Fatalf("escaped title missing:\n%s", out)
+	}
+}
+
+func TestSVGBreaksAtNonFinite(t *testing.T) {
+	p := &Panel{
+		ID: "gap", Title: "gap", XLabel: "x", YLabel: "y",
+		X:      []float64{1, 2, 3, 4, 5},
+		Curves: []Curve{{Label: "c", Y: []float64{1, 2, math.Inf(1), 4, 5}}},
+	}
+	out := p.SVG()
+	// The infinity splits the line into two polylines and skips its marker.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2 (split at Inf)", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Fatalf("markers = %d, want 4", got)
+	}
+}
+
+func TestSVGDegenerate(t *testing.T) {
+	flat := &Panel{ID: "f", XLabel: "x", YLabel: "y",
+		X: []float64{1}, Curves: []Curve{{Label: "c", Y: []float64{7}}}}
+	out := flat.SVG()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("degenerate panel broke SVG skeleton")
+	}
+	nan := &Panel{ID: "n", XLabel: "x", YLabel: "y",
+		X: []float64{1, 2}, Curves: []Curve{{Label: "c", Y: []float64{math.NaN(), math.NaN()}}}}
+	_ = nan.SVG() // must not panic
+}

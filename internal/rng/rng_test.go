@@ -1,0 +1,187 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("draw %d diverged for identical seeds", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agreed on %d/100 draws", same)
+	}
+}
+
+func TestSplitIsDrawIndependent(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Consume from a before splitting; children must still match.
+	for i := 0; i < 57; i++ {
+		a.Float64()
+	}
+	ca := a.Split("mobility")
+	cb := b.Split("mobility")
+	for i := 0; i < 100; i++ {
+		if ca.Float64() != cb.Float64() {
+			t.Fatalf("split children diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	root := New(9)
+	m := root.Split("mobility")
+	tr := root.Split("traffic")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if m.Float64() == tr.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("differently-labeled children agreed on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndexDistinct(t *testing.T) {
+	root := New(11)
+	a := root.SplitIndex("node", 0)
+	b := root.SplitIndex("node", 1)
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Fatal("per-index streams appear identical")
+	}
+	// Same index must reproduce.
+	c := root.SplitIndex("node", 0)
+	d := New(11).SplitIndex("node", 0)
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatal("same-index streams differ")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(5, 8)
+		if v < 5 || v >= 8 {
+			t.Fatalf("Uniform(5,8) = %v out of range", v)
+		}
+	}
+}
+
+func TestIntRangeBounds(t *testing.T) {
+	s := New(4)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := s.IntRange(10, 15)
+		if v < 10 || v > 15 {
+			t.Fatalf("IntRange(10,15) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 10; v <= 15; v++ {
+		if !seen[v] {
+			t.Fatalf("IntRange never produced %d", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(5)
+	const mean = 120.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.02 {
+		t.Fatalf("Exp sample mean %v, want ~%v", got, mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(6)
+	const mean, sd = 10.0, 2.0
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, sd)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("Normal mean %v, want ~%v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Fatalf("Normal sd %v, want ~%v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(8)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedIndex(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index selected %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(10)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(12)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,323 @@
+// Package routing implements DTN hosts and routing protocols.
+//
+// A Host owns one node's buffer, buffer-management policy, protocol state,
+// and SDSRP estimators (intermeeting-rate estimator and dropped-list
+// table). The network layer (internal/network) asks hosts what to transfer
+// on each contact (NextOffer / PreAccept) and commits finished transfers
+// (CommitTransfer); the world layer (internal/world) generates traffic and
+// drives TTL expiry.
+package routing
+
+import (
+	"fmt"
+
+	"sdsrp/internal/buffer"
+	"sdsrp/internal/core"
+	"sdsrp/internal/msg"
+	"sdsrp/internal/policy"
+	"sdsrp/internal/stats"
+)
+
+// Oracle supplies ground-truth message spread for oracle policies and for
+// ablation experiments. Implemented by the world's tracker.
+type Oracle interface {
+	// Seen returns the true m_i: nodes other than the source that have
+	// carried message id.
+	Seen(id msg.ID) int
+	// Live returns the true n_i: nodes currently holding a copy.
+	Live(id msg.ID) int
+}
+
+// HostConfig assembles a Host.
+type HostConfig struct {
+	ID     int
+	Nodes  int // N, network size
+	Buffer int64
+	Policy policy.Policy
+	Proto  Protocol
+	// Rate supplies λ: a per-node *core.LambdaEstimator (distributed
+	// operation) or core.FixedRate (oracle ablation).
+	Rate core.RateSource
+	// UseDropList enables the Fig. 5 dropped-list gossip (SDSRP's d̂_i
+	// estimator and re-receipt rejection).
+	UseDropList bool
+	// UseAcks enables the immunization extension: delivered-message ACKs
+	// gossip on contact; nodes purge and refuse acknowledged messages. The
+	// paper's model runs without it (Section III-A); see AckTable.
+	UseAcks bool
+	// PreflightEviction makes receivers run the eviction plan BEFORE any
+	// bytes move and refuse transfers whose payload would be the victim.
+	// The default (false) is the paper's Algorithm 1: receive first, then
+	// drop the weakest — wasting the bandwidth and spray tokens the paper's
+	// analysis charges to the heuristic policies.
+	PreflightEviction bool
+	// Clock returns the current simulation time.
+	Clock func() float64
+	// Collector receives the run's counters. Required.
+	Collector *stats.Collector
+	// Tracker records ground-truth spread; may be nil.
+	Tracker *Tracker
+	// Oracle backs TrueSeen/TrueLive; may be nil (falls back to estimates).
+	Oracle Oracle
+}
+
+// Host is one DTN node's full protocol state.
+type Host struct {
+	id    int
+	nodes int
+	buf   *buffer.Buffer
+	pol   policy.Policy
+	proto Protocol
+
+	rate      core.RateSource
+	rateObs   core.ContactObserver // nil when rate is a fixed oracle
+	drops     *core.DropTable
+	useDrops  bool
+	preflight bool
+	acks      *AckTable
+
+	clock     func() float64
+	collector *stats.Collector
+	tracker   *Tracker
+	oracle    Oracle
+
+	// received marks messages this host has consumed as their destination.
+	received map[msg.ID]bool
+	// lastContact records the latest link-up time per peer (Spray-and-Focus
+	// utility).
+	lastContact map[int]float64
+}
+
+// NewHost builds a host. It panics on an incomplete config — hosts are
+// constructed by the world builder, so a bad config is a programming error.
+func NewHost(cfg HostConfig) *Host {
+	if cfg.Policy == nil || cfg.Proto == nil || cfg.Clock == nil || cfg.Collector == nil {
+		panic(fmt.Sprintf("routing: incomplete host config for node %d", cfg.ID))
+	}
+	h := &Host{
+		id:          cfg.ID,
+		nodes:       cfg.Nodes,
+		buf:         buffer.New(cfg.Buffer),
+		pol:         cfg.Policy,
+		proto:       cfg.Proto,
+		rate:        cfg.Rate,
+		useDrops:    cfg.UseDropList,
+		preflight:   cfg.PreflightEviction,
+		clock:       cfg.Clock,
+		collector:   cfg.Collector,
+		tracker:     cfg.Tracker,
+		oracle:      cfg.Oracle,
+		received:    make(map[msg.ID]bool),
+		lastContact: make(map[int]float64),
+	}
+	if obs, ok := cfg.Rate.(core.ContactObserver); ok {
+		h.rateObs = obs
+	}
+	if cfg.UseDropList {
+		h.drops = core.NewDropTable(cfg.ID)
+	}
+	if cfg.UseAcks {
+		h.acks = NewAckTable()
+	}
+	return h
+}
+
+// ID returns the node id.
+func (h *Host) ID() int { return h.id }
+
+// Buffer exposes the host's store (read-mostly; mutate only through host
+// methods).
+func (h *Host) Buffer() *buffer.Buffer { return h.buf }
+
+// Policy returns the buffer-management strategy.
+func (h *Host) Policy() policy.Policy { return h.pol }
+
+// Received reports whether this host, as destination, has consumed id.
+func (h *Host) Received(id msg.ID) bool { return h.received[id] }
+
+// DropTable returns the host's gossip table (nil when disabled).
+func (h *Host) DropTable() *core.DropTable { return h.drops }
+
+// AckTable returns the host's immunization table (nil when disabled).
+func (h *Host) AckTable() *AckTable { return h.acks }
+
+// --- policy.View implementation -------------------------------------------
+
+// Now implements policy.View.
+func (h *Host) Now() float64 { return h.clock() }
+
+// Nodes implements policy.View.
+func (h *Host) Nodes() int { return h.nodes }
+
+// Lambda implements policy.View.
+func (h *Host) Lambda() float64 {
+	if h.rate == nil {
+		return 0
+	}
+	return h.rate.Lambda()
+}
+
+// EIMin implements policy.View.
+func (h *Host) EIMin() float64 {
+	if h.rate == nil {
+		return 0
+	}
+	return h.rate.EIMin(h.nodes)
+}
+
+// SeenEstimate implements policy.View with the Eq. 15 lineage estimator.
+func (h *Host) SeenEstimate(s *msg.Stored) float64 {
+	return float64(core.EstimateSeen(s.SprayTimes, s.Copies, h.clock(), h.EIMin(), h.nodes))
+}
+
+// LiveEstimate implements policy.View with Eq. 14, n̂ = m̂ + 1 − d̂.
+func (h *Host) LiveEstimate(s *msg.Stored) float64 {
+	dropped := 0
+	if h.drops != nil {
+		dropped = h.drops.DroppedCount(s.M.ID)
+	}
+	seen := core.EstimateSeen(s.SprayTimes, s.Copies, h.clock(), h.EIMin(), h.nodes)
+	return float64(core.LiveCopies(seen, dropped, h.nodes))
+}
+
+// TrueSeen implements policy.View via the oracle, falling back to the
+// estimate without one.
+func (h *Host) TrueSeen(s *msg.Stored) float64 {
+	if h.oracle == nil {
+		return h.SeenEstimate(s)
+	}
+	return float64(h.oracle.Seen(s.M.ID))
+}
+
+// TrueLive implements policy.View via the oracle.
+func (h *Host) TrueLive(s *msg.Stored) float64 {
+	if h.oracle == nil {
+		return h.LiveEstimate(s)
+	}
+	return float64(h.oracle.Live(s.M.ID))
+}
+
+var _ policy.View = (*Host)(nil)
+
+// --- contact lifecycle ------------------------------------------------------
+
+// OnLinkUp is called by the network layer when a contact with peer starts:
+// it feeds the λ estimator, merges dropped-list gossip both ways, and
+// refreshes the Spray-and-Focus recency table.
+func (h *Host) OnLinkUp(peer *Host, now float64) {
+	if h.rateObs != nil {
+		h.rateObs.OnContactStart(peer.id, now)
+	}
+	if h.drops != nil && peer.drops != nil {
+		h.drops.MergeFrom(peer.drops)
+	}
+	if h.acks != nil && peer.acks != nil {
+		h.acks.MergeFrom(peer.acks)
+		h.purgeAcked(now)
+	}
+	if hook, ok := h.proto.(ContactHook); ok {
+		hook.OnContact(h, peer, now)
+	}
+	h.lastContact[peer.id] = now
+}
+
+// OnLinkDown is called when the contact with peer ends.
+func (h *Host) OnLinkDown(peer *Host, now float64) {
+	if h.rateObs != nil {
+		h.rateObs.OnContactEnd(peer.id, now)
+	}
+}
+
+// LastContactWith returns when this host last started a contact with node,
+// and whether it ever has.
+func (h *Host) LastContactWith(node int) (float64, bool) {
+	t, ok := h.lastContact[node]
+	return t, ok
+}
+
+// --- message lifecycle ------------------------------------------------------
+
+// Originate injects a freshly generated message at this (source) host. The
+// newcomer competes for buffer space under the host's own policy; a source
+// whose buffer outranks the new message drops it on arrival. It reports
+// whether the message was stored.
+func (h *Host) Originate(m *msg.Message, now float64) bool {
+	h.collector.MessageCreated(m.ID, m.Created)
+	if h.tracker != nil {
+		h.tracker.NoteCreated(m.ID, m.Source)
+	}
+	s := msg.NewSourceCopy(m)
+	victims, ok := policy.PlanEviction(h.pol, h, h.buf, s)
+	if !ok {
+		h.collector.Dropped()
+		return false
+	}
+	for _, v := range victims {
+		h.DropMessage(v, now)
+	}
+	if err := h.buf.Add(s); err != nil {
+		panic(fmt.Sprintf("routing: originate after eviction: %v", err))
+	}
+	if h.tracker != nil {
+		h.tracker.NoteStored(m.ID, h.id)
+	}
+	return true
+}
+
+// DropMessage evicts s under the buffer policy: it leaves the buffer,
+// enters the host's dropped list (when enabled) and counts as a policy
+// drop.
+func (h *Host) DropMessage(s *msg.Stored, now float64) {
+	if h.buf.Remove(s.M.ID) == nil {
+		return
+	}
+	if h.drops != nil {
+		h.drops.RecordDrop(s.M.ID, now)
+	}
+	if h.tracker != nil {
+		h.tracker.NoteRemoved(s.M.ID, h.id)
+	}
+	h.collector.Dropped()
+}
+
+// purgeAcked removes buffered copies of delivered messages (immunization).
+func (h *Host) purgeAcked(now float64) {
+	if h.acks == nil {
+		return
+	}
+	var dead []*msg.Stored
+	for _, s := range h.buf.Items() {
+		if h.acks.Has(s.M.ID) {
+			dead = append(dead, s)
+		}
+	}
+	for _, s := range dead {
+		h.buf.Remove(s.M.ID)
+		if h.tracker != nil {
+			h.tracker.NoteRemoved(s.M.ID, h.id)
+		}
+		h.collector.AckPurged()
+	}
+	_ = now
+}
+
+// ExpireMessages removes every dead message at time now and forgets their
+// dropped-list records (an expired message can no longer influence any
+// decision). It returns the number removed.
+func (h *Host) ExpireMessages(now float64) int {
+	dead := h.buf.Expired(now, nil)
+	for _, s := range dead {
+		h.buf.Remove(s.M.ID)
+		if h.tracker != nil {
+			h.tracker.NoteRemoved(s.M.ID, h.id)
+		}
+		if h.drops != nil {
+			h.drops.Forget(s.M.ID)
+		}
+		if h.acks != nil {
+			h.acks.Forget(s.M.ID)
+		}
+		h.collector.Expired()
+	}
+	return len(dead)
+}

@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"fmt"
+
+	"sdsrp/internal/msg"
+	"sdsrp/internal/policy"
+)
+
+// Offer is a proposed transfer of the sender's copy S with semantics Kind.
+type Offer struct {
+	S    *msg.Stored
+	Kind Kind
+}
+
+// NextOffer picks the next transfer from h to peer: the highest-priority
+// eligible message under the host's buffer-management policy, exactly as
+// the paper's Algorithm 1 schedules ("return ID_S", the top-priority
+// message). Deliveries get no special treatment — a wait-phase copy meeting
+// its destination still has to win the priority ordering, which is
+// precisely what sinks Spray-and-Wait-C in the paper's evaluation (its
+// deliverable copies always rank last). Messages for which skip returns
+// true are ignored (the network layer uses this to avoid re-offering
+// messages refused earlier in the same contact). ok is false when nothing
+// is eligible.
+func (h *Host) NextOffer(peer *Host, skip func(msg.ID) bool) (Offer, bool) {
+	now := h.clock()
+	ordered := policy.SendOrder(h.pol, h, h.buf.Items())
+	for _, s := range ordered {
+		if s.M.Expired(now) || (skip != nil && skip(s.M.ID)) {
+			continue
+		}
+		if kind, ok := h.proto.Eligible(h, peer, s); ok {
+			return Offer{S: s, Kind: kind}, true
+		}
+	}
+	return Offer{}, false
+}
+
+// Phantom builds the copy the receiver would hold if the offer completed at
+// time now, without mutating the sender's copy. The receiver's policy
+// evaluates this phantom when planning eviction.
+func (o Offer) Phantom(now float64) *msg.Stored {
+	switch o.Kind {
+	case KindSpray:
+		give := o.S.Copies / 2
+		history := make([]float64, len(o.S.SprayTimes)+1)
+		copy(history, o.S.SprayTimes)
+		history[len(history)-1] = now
+		return &msg.Stored{M: o.S.M, Copies: give, ReceivedAt: now,
+			Hops: o.S.Hops + 1, SprayTimes: history}
+	case KindSpraySource:
+		history := make([]float64, len(o.S.SprayTimes)+1)
+		copy(history, o.S.SprayTimes)
+		history[len(history)-1] = now
+		return &msg.Stored{M: o.S.M, Copies: 1, ReceivedAt: now,
+			Hops: o.S.Hops + 1, SprayTimes: history}
+	case KindRelay:
+		return o.S.Relay(now, 1)
+	case KindHandoff:
+		return o.S.Relay(now, o.S.Copies)
+	case KindDelivery:
+		// Deliveries are consumed, not stored.
+		return &msg.Stored{M: o.S.M, Copies: o.S.Copies, ReceivedAt: now, Hops: o.S.Hops + 1}
+	default:
+		panic(fmt.Sprintf("routing: phantom for unknown kind %v", o.Kind))
+	}
+}
+
+// PreAccept is the receiver-side preflight run before any bytes move.
+// Deliveries are always welcome. A replication is rejected when the
+// receiver's dropped list contains the message (the paper's "nodes reject
+// receiving the message already in their dropped lists" — re-checked here
+// because gossip merged mid-contact may postdate the Eligible check) and,
+// only in preflight-eviction mode (an ablation; the paper's Algorithm 1
+// receives first and drops after), when the receiver's buffer could not
+// admit the phantom under its eviction policy. PreAccept does not mutate
+// the buffer.
+func (h *Host) PreAccept(o Offer, now float64) bool {
+	if o.Kind == KindDelivery {
+		return true
+	}
+	if h.drops != nil && h.drops.RejectsIncoming(o.S.M.ID) {
+		return false
+	}
+	if !h.preflight {
+		return true
+	}
+	_, ok := policy.PlanEviction(h.pol, h, h.buf, o.Phantom(now))
+	return ok
+}
+
+// CommitTransfer finalizes a completed transfer between sender and
+// receiver. It performs the sender-side token accounting, the
+// receiver-side eviction + store, and all stats bookkeeping. It returns
+// false when the completed bytes were wasted (the receiver acquired the
+// message through a third party mid-transfer, or its buffer filled with
+// higher-priority traffic).
+func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
+	id := o.S.M.ID
+	c := sender.collector
+
+	if o.Kind == KindDelivery {
+		if receiver.received[id] {
+			// A second copy arrived through another path mid-transfer.
+			c.TransferRefused()
+			return false
+		}
+		receiver.received[id] = true
+		if receiver.acks != nil {
+			receiver.acks.Add(id)
+		}
+		c.TransferCompleted()
+		c.Delivered(id, now, o.S.M.Created, o.S.Hops+1)
+		// The delivering node knows the destination is served: its copy is
+		// useless now.
+		if sender.buf.Remove(id) != nil && sender.tracker != nil {
+			sender.tracker.NoteRemoved(id, sender.id)
+		}
+		if receiver.tracker != nil {
+			receiver.tracker.NoteDelivered(id, receiver.id)
+		}
+		return true
+	}
+
+	// Replication kinds. Re-validate: the receiver's state may have changed
+	// during the transfer. A duplicate or dropped-list hit wastes the
+	// transfer without touching the sender's tokens (header-level dedup).
+	if receiver.buf.Has(id) || receiver.received[id] ||
+		(receiver.drops != nil && receiver.drops.RejectsIncoming(id)) {
+		c.TransferRefused()
+		return false
+	}
+	incoming := o.Phantom(now)
+
+	// The bytes moved: the sender's token accounting is final regardless of
+	// what the receiver's buffer policy decides next (Algorithm 1 receives
+	// first, then drops — a discarded newcomer destroys the sprayed
+	// tokens).
+	switch o.Kind {
+	case KindSpray:
+		got := o.S.Split(now)
+		// Split recomputes the same numbers as Phantom; they must agree.
+		if got.Copies != incoming.Copies {
+			panic("routing: phantom/split divergence")
+		}
+	case KindSpraySource:
+		o.S.Copies--
+		o.S.SprayTimes = append(o.S.SprayTimes, now)
+	case KindRelay:
+		// No sender-side token change.
+	case KindHandoff:
+		if sender.buf.Remove(id) != nil && sender.tracker != nil {
+			sender.tracker.NoteRemoved(id, sender.id)
+		}
+	}
+	o.S.Forwarded++
+	c.TransferCompleted()
+
+	victims, ok := policy.PlanEviction(receiver.pol, receiver, receiver.buf, incoming)
+	if !ok {
+		// The newcomer is the weakest: dropped on arrival. It enters the
+		// receiver's dropped list (enabling SDSRP's future pre-rejection)
+		// and counts as a policy drop.
+		if receiver.drops != nil {
+			receiver.drops.RecordDrop(id, now)
+		}
+		c.Dropped()
+		return false
+	}
+	for _, v := range victims {
+		receiver.DropMessage(v, now)
+	}
+	if err := receiver.buf.Add(incoming); err != nil {
+		panic(fmt.Sprintf("routing: add after eviction: %v", err))
+	}
+	if receiver.tracker != nil {
+		receiver.tracker.NoteStored(id, receiver.id)
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// Events are callbacks ordered by (time, sequence number); the sequence
+// number makes ties deterministic, so a run is fully reproducible from the
+// scenario seed. A single Engine is driven by one goroutine; cross-run
+// parallelism lives in internal/experiment, which runs independent engines
+// on a worker pool.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sdsrp/internal/eventq"
+)
+
+// Handler is an event callback. It runs at its scheduled time with the
+// engine clock already advanced.
+type Handler func(now float64)
+
+type event struct {
+	time     float64
+	seq      uint64
+	canceled bool
+	fn       Handler
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is invalid.
+type EventID struct {
+	ev *event
+}
+
+// Cancel marks the event as canceled; a canceled event is skipped when its
+// time comes. Canceling an already-run or already-canceled event is a no-op.
+func (id EventID) Cancel() {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// Engine is a discrete-event simulator clock plus pending-event queue.
+// Construct with NewEngine. Not safe for concurrent use.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   *eventq.Queue[*event]
+	stopped bool
+	// Processed counts events actually dispatched (excluding canceled).
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{
+		queue: eventq.NewWithCapacity(func(a, b *event) bool {
+			if a.time != b.time {
+				return a.time < b.time
+			}
+			return a.seq < b.seq
+		}, 1024),
+	}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events dispatched so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it is always a logic error in a discrete-event model.
+func (e *Engine) At(t float64, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.queue.Push(ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d seconds from now. d must be ≥ 0.
+func (e *Engine) After(d float64, fn Handler) EventID {
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run now+d, now+2d, ... until the engine stops or the
+// returned EventID is canceled. Each firing passes the current time.
+// d must be > 0.
+func (e *Engine) Every(d float64, fn Handler) EventID {
+	if d <= 0 {
+		panic("sim: Every requires positive period")
+	}
+	ctl := &event{} // carries the cancel flag across re-schedules
+	var tick Handler
+	tick = func(now float64) {
+		if ctl.canceled || e.stopped {
+			return
+		}
+		fn(now)
+		if ctl.canceled || e.stopped {
+			return
+		}
+		e.At(now+d, tick)
+	}
+	e.At(e.now+d, tick)
+	return EventID{ctl}
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in order until the queue empties, Stop is called, or
+// the next event is strictly after horizon. The clock finishes at
+// min(last event time, horizon).
+func (e *Engine) Run(horizon float64) {
+	e.stopped = false
+	for {
+		if e.stopped {
+			return
+		}
+		ev, ok := e.queue.Peek()
+		if !ok {
+			if horizon > e.now {
+				e.now = horizon
+			}
+			return
+		}
+		if ev.time > horizon {
+			e.now = horizon
+			return
+		}
+		e.queue.Pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.processed++
+		ev.fn(ev.time)
+	}
+}
+
+// Pending returns the number of events in the queue, including canceled
+// events not yet reaped. Intended for tests and diagnostics.
+func (e *Engine) Pending() int { return e.queue.Len() }

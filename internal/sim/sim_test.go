@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunEmpty(t *testing.T) {
+	e := NewEngine()
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want horizon 100", e.Now())
+	}
+}
+
+func TestEventOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(5, func(float64) { order = append(order, 2) })
+	e.At(1, func(float64) { order = append(order, 1) })
+	e.At(9, func(float64) { order = append(order, 3) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(5, func(float64) { order = append(order, "a") })
+	e.At(5, func(float64) { order = append(order, "b") })
+	e.At(5, func(float64) { order = append(order, "c") })
+	e.Run(10)
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("tie order = %q, want abc", got)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.At(7.5, func(now float64) { at = now })
+	e.Run(100)
+	if at != 7.5 {
+		t.Fatalf("handler saw now=%v, want 7.5", at)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("final Now = %v, want 100", e.Now())
+	}
+}
+
+func TestHorizonCutsOff(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(50, func(float64) { ran = true })
+	e.Run(49)
+	if ran {
+		t.Fatal("event after horizon ran")
+	}
+	if e.Now() != 49 {
+		t.Fatalf("Now = %v, want 49", e.Now())
+	}
+	// Continuing past the horizon runs it.
+	e.Run(100)
+	if !ran {
+		t.Fatal("event did not run on continued Run")
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(10, func(now float64) {
+		e.After(5, func(now2 float64) { times = append(times, now2) })
+	})
+	e.Run(100)
+	if len(times) != 1 || times[0] != 15 {
+		t.Fatalf("times = %v, want [15]", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(now float64) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func(float64) {})
+	})
+	e.Run(20)
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.At(5, func(float64) { ran = true })
+	id.Cancel()
+	e.Run(10)
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	// Double-cancel and cancel-after-run are no-ops.
+	id.Cancel()
+	id2 := e.At(15, func(float64) {})
+	e.Run(20)
+	id2.Cancel()
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var fires []float64
+	e.Every(10, func(now float64) { fires = append(fires, now) })
+	e.Run(35)
+	if len(fires) != 3 || fires[0] != 10 || fires[1] != 20 || fires[2] != 30 {
+		t.Fatalf("fires = %v", fires)
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var id EventID
+	id = e.Every(10, func(now float64) {
+		count++
+		if count == 2 {
+			id.Cancel()
+		}
+	})
+	e.Run(1000)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestEveryStopsWithEngine(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(1, func(now float64) {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+	})
+	e.Run(1e9)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event scheduling another event at the same timestamp runs it in the
+	// same Run pass, after all previously scheduled same-time events.
+	e := NewEngine()
+	var order []string
+	e.At(5, func(now float64) {
+		order = append(order, "first")
+		e.At(5, func(float64) { order = append(order, "nested") })
+	})
+	e.At(5, func(float64) { order = append(order, "second") })
+	e.Run(10)
+	want := []string{"first", "second", "nested"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.At(float64(i), func(float64) {})
+	}
+	id := e.At(3.5, func(float64) {})
+	id.Cancel()
+	e.Run(100)
+	if e.Processed() != 10 {
+		t.Fatalf("Processed = %d, want 10", e.Processed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		var log []float64
+		e.Every(3, func(now float64) { log = append(log, now) })
+		e.Every(5, func(now float64) { log = append(log, now+0.1) })
+		e.At(7, func(now float64) {
+			e.After(2, func(n2 float64) { log = append(log, n2+0.2) })
+		})
+		e.Run(50)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func(float64) {})
+		if e.Pending() > 4096 {
+			e.Run(e.Now() + 0.5)
+		}
+	}
+}
+
+// Property: however events are scheduled (random times, nested scheduling),
+// they execute in non-decreasing time order and same-time events in
+// scheduling order.
+func TestPropertyEventOrdering(t *testing.T) {
+	x := uint32(12345)
+	next := func(n int) int {
+		x = x*1664525 + 1013904223
+		return int(x>>8) % n
+	}
+	e := NewEngine()
+	type stamp struct {
+		time float64
+		seq  int
+	}
+	var log []stamp
+	seq := 0
+	for i := 0; i < 500; i++ {
+		tt := float64(next(1000))
+		mySeq := seq
+		seq++
+		e.At(tt, func(now float64) {
+			log = append(log, stamp{now, mySeq})
+			// Occasionally schedule a same-time follow-up.
+			if len(log)%7 == 0 {
+				s2 := seq
+				seq++
+				e.At(now, func(n2 float64) { log = append(log, stamp{n2, s2}) })
+			}
+		})
+	}
+	e.Run(2000)
+	for i := 1; i < len(log); i++ {
+		if log[i].time < log[i-1].time {
+			t.Fatalf("time went backwards at %d: %v < %v", i, log[i].time, log[i-1].time)
+		}
+		if log[i].time == log[i-1].time && log[i].seq < log[i-1].seq {
+			t.Fatalf("same-time events out of scheduling order at %d", i)
+		}
+	}
+	if len(log) < 500 {
+		t.Fatalf("only %d events ran", len(log))
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sampler accumulates scalar samples (contact durations, queue depths, …)
+// and answers summary queries. The zero value is ready to use.
+type Sampler struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one sample; NaNs are ignored.
+func (s *Sampler) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Sampler) Count() int { return len(s.samples) }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Sampler) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 with none.
+func (s *Sampler) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 with none.
+func (s *Sampler) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-quantile (p in [0,1]) by nearest-rank, or 0
+// with no samples.
+func (s *Sampler) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	i := int(math.Ceil(p*float64(len(s.samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s.samples[i]
+}
+
+func (s *Sampler) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}

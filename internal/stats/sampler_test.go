@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplerEmpty(t *testing.T) {
+	var s Sampler
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(0.5) != 0 {
+		t.Fatal("empty sampler not zero")
+	}
+}
+
+func TestSamplerBasics(t *testing.T) {
+	var s Sampler
+	for _, v := range []float64{5, 1, 9, 3} {
+		s.Add(v)
+	}
+	s.Add(math.NaN()) // ignored
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 4.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSamplerPercentile(t *testing.T) {
+	var s Sampler
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(0.5); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(0.95); p != 95 {
+		t.Fatalf("p95 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(1); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestSamplerAddAfterQuery(t *testing.T) {
+	var s Sampler
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Fatal("max wrong")
+	}
+	s.Add(20) // after a sorted query
+	if s.Max() != 20 || s.Min() != 10 {
+		t.Fatal("sampler stale after post-query Add")
+	}
+}
+
+// Property: Min <= Percentile(p) <= Max for any data and p, and Mean lies
+// within [Min, Max].
+func TestSamplerPropertyBounds(t *testing.T) {
+	f := func(raw []float64, praw uint8) bool {
+		var s Sampler
+		for _, v := range raw {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				// Bound magnitudes so the running sum cannot overflow;
+				// the property under test is ordering, not overflow.
+				s.Add(math.Mod(v, 1e9))
+			}
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		p := float64(praw) / 255
+		q := s.Percentile(p)
+		return s.Min() <= q && q <= s.Max() &&
+			s.Min() <= s.Mean()+1e-9*math.Abs(s.Mean()) &&
+			s.Mean() <= s.Max()+1e-9*math.Abs(s.Max())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package stats collects simulation metrics.
+//
+// The three headline metrics match the paper's Section IV definitions:
+//
+//   - delivery ratio: delivered messages / created messages
+//   - average hopcounts: mean hops of successfully delivered messages
+//   - overhead ratio: (forwards − deliveries) / deliveries
+//
+// plus auxiliary counters (aborts, refusals, drops) and the intermeeting
+// time recorder used to reproduce Fig. 3.
+package stats
+
+import (
+	"math"
+
+	"sdsrp/internal/msg"
+)
+
+// Collector accumulates counters for one simulation run. Not safe for
+// concurrent use; a run is single-threaded.
+type Collector struct {
+	// WarmupUntil excludes messages created before it from the per-message
+	// metrics (created count, deliveries, hops, latency). Transfer- and
+	// drop-level counters still include warm-up activity; the headline
+	// ratios are computed over post-warm-up messages only.
+	WarmupUntil float64
+
+	Created  int // messages generated
+	Forwards int // successfully completed transfers (including delivery hops)
+	Started  int // transfers begun
+	Aborted  int // transfers cut by link-down
+	Refused  int // transfers declined up-front (dropped-list or overflow preflight)
+
+	PolicyDrops  int // buffer-overflow evictions
+	ExpiredDrops int // TTL removals
+	AckPurges    int // copies purged by the immunization extension
+
+	delivered  map[msg.ID]DeliveryRecord
+	excluded   map[msg.ID]bool // warm-up messages, invisible to metrics
+	duplicates int             // deliveries of already-delivered messages
+	latencies  Sampler         // delivery latencies in delivery order
+	// Running sums accumulated in delivery order, so Summarize never
+	// depends on map iteration order (float addition is not associative).
+	hopSum     int
+	latencySum float64
+}
+
+// DeliveryRecord describes the first delivery of a message.
+type DeliveryRecord struct {
+	At      float64
+	Latency float64
+	Hops    int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		delivered: make(map[msg.ID]DeliveryRecord),
+		excluded:  make(map[msg.ID]bool),
+	}
+}
+
+// MessageCreated counts a generated message; messages born during warm-up
+// are recorded as excluded instead.
+func (c *Collector) MessageCreated(id msg.ID, created float64) {
+	if created < c.WarmupUntil {
+		c.excluded[id] = true
+		return
+	}
+	c.Created++
+}
+
+// IsExcluded reports whether id was generated during warm-up.
+func (c *Collector) IsExcluded(id msg.ID) bool { return c.excluded[id] }
+
+// TransferStarted counts a transfer beginning.
+func (c *Collector) TransferStarted() { c.Started++ }
+
+// TransferAborted counts a transfer cut mid-flight.
+func (c *Collector) TransferAborted() { c.Aborted++ }
+
+// TransferRefused counts a transfer declined before any bytes moved.
+func (c *Collector) TransferRefused() { c.Refused++ }
+
+// TransferCompleted counts a successful transfer (a "forward" in the
+// paper's overhead metric, whether spray, relay, or final delivery).
+func (c *Collector) TransferCompleted() { c.Forwards++ }
+
+// Dropped counts a policy eviction.
+func (c *Collector) Dropped() { c.PolicyDrops++ }
+
+// Expired counts a TTL removal.
+func (c *Collector) Expired() { c.ExpiredDrops++ }
+
+// AckPurged counts a copy removed by ACK immunization.
+func (c *Collector) AckPurged() { c.AckPurges++ }
+
+// Delivered records a message reaching its destination. Only the first
+// delivery of each message counts; later copies are tallied as duplicates.
+// It reports whether this was the first delivery.
+func (c *Collector) Delivered(id msg.ID, now, created float64, hops int) bool {
+	if c.excluded[id] {
+		return false
+	}
+	if _, ok := c.delivered[id]; ok {
+		c.duplicates++
+		return false
+	}
+	c.delivered[id] = DeliveryRecord{At: now, Latency: now - created, Hops: hops}
+	c.hopSum += hops
+	c.latencySum += now - created
+	c.latencies.Add(now - created)
+	return true
+}
+
+// DeliveryOf returns the delivery record for id, if delivered.
+func (c *Collector) DeliveryOf(id msg.ID) (DeliveryRecord, bool) {
+	r, ok := c.delivered[id]
+	return r, ok
+}
+
+// WasDelivered reports whether id has reached its destination.
+func (c *Collector) WasDelivered(id msg.ID) bool {
+	_, ok := c.delivered[id]
+	return ok
+}
+
+// DeliveredCount returns the number of distinct messages delivered.
+func (c *Collector) DeliveredCount() int { return len(c.delivered) }
+
+// Duplicates returns the number of redundant deliveries observed.
+func (c *Collector) Duplicates() int { return c.duplicates }
+
+// Summary is the digest of a finished run.
+type Summary struct {
+	Created       int
+	Delivered     int
+	Forwards      int
+	Started       int
+	Aborted       int
+	Refused       int
+	PolicyDrops   int
+	ExpiredDrops  int
+	AckPurges     int
+	Duplicates    int
+	DeliveryRatio float64
+	AvgHops       float64
+	OverheadRatio float64
+	AvgLatency    float64
+	// MedianLatency and P95Latency summarize the delivery-delay
+	// distribution (0 with no deliveries).
+	MedianLatency float64
+	P95Latency    float64
+}
+
+// Summarize computes the derived metrics. Ratios involving zero deliveries
+// are reported as 0 (delivery, hops, latency) and NaN-free: overhead with
+// zero deliveries is reported as +Inf only when forwards occurred, else 0.
+func (c *Collector) Summarize() Summary {
+	s := Summary{
+		Created:      c.Created,
+		Delivered:    len(c.delivered),
+		Forwards:     c.Forwards,
+		Started:      c.Started,
+		Aborted:      c.Aborted,
+		Refused:      c.Refused,
+		PolicyDrops:  c.PolicyDrops,
+		ExpiredDrops: c.ExpiredDrops,
+		AckPurges:    c.AckPurges,
+		Duplicates:   c.duplicates,
+	}
+	if c.Created > 0 {
+		s.DeliveryRatio = float64(s.Delivered) / float64(c.Created)
+	}
+	if s.Delivered > 0 {
+		s.AvgHops = float64(c.hopSum) / float64(s.Delivered)
+		s.AvgLatency = c.latencySum / float64(s.Delivered)
+		s.MedianLatency = c.latencies.Percentile(0.5)
+		s.P95Latency = c.latencies.Percentile(0.95)
+		s.OverheadRatio = float64(c.Forwards-s.Delivered) / float64(s.Delivered)
+	} else if c.Forwards > 0 {
+		s.OverheadRatio = math.Inf(1)
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"sdsrp/internal/msg"
+)
+
+func TestEmptySummary(t *testing.T) {
+	c := NewCollector()
+	s := c.Summarize()
+	if s.DeliveryRatio != 0 || s.AvgHops != 0 || s.OverheadRatio != 0 || s.AvgLatency != 0 {
+		t.Fatalf("empty summary has nonzero derived metrics: %+v", s)
+	}
+}
+
+func TestDeliveryRatio(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 10; i++ {
+		c.MessageCreated(msg.ID(100+i), 0)
+	}
+	c.Delivered(1, 100, 0, 3)
+	c.Delivered(2, 200, 50, 5)
+	s := c.Summarize()
+	if s.DeliveryRatio != 0.2 {
+		t.Fatalf("DeliveryRatio = %v, want 0.2", s.DeliveryRatio)
+	}
+	if s.AvgHops != 4 {
+		t.Fatalf("AvgHops = %v, want 4", s.AvgHops)
+	}
+	if s.AvgLatency != 125 {
+		t.Fatalf("AvgLatency = %v, want (100+150)/2", s.AvgLatency)
+	}
+}
+
+func TestDuplicateDeliveryNotDoubleCounted(t *testing.T) {
+	c := NewCollector()
+	c.MessageCreated(1, 0)
+	if !c.Delivered(1, 10, 0, 2) {
+		t.Fatal("first delivery not reported as first")
+	}
+	if c.Delivered(1, 20, 0, 7) {
+		t.Fatal("second delivery reported as first")
+	}
+	s := c.Summarize()
+	if s.Delivered != 1 || s.Duplicates != 1 {
+		t.Fatalf("delivered=%d dup=%d", s.Delivered, s.Duplicates)
+	}
+	if s.AvgHops != 2 {
+		t.Fatalf("AvgHops uses duplicate record: %v", s.AvgHops)
+	}
+	if !c.WasDelivered(1) || c.WasDelivered(2) {
+		t.Fatal("WasDelivered wrong")
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	c := NewCollector()
+	c.MessageCreated(1, 0)
+	c.MessageCreated(2, 0)
+	for i := 0; i < 10; i++ {
+		c.TransferCompleted()
+	}
+	c.Delivered(1, 5, 0, 1)
+	c.Delivered(2, 6, 0, 1)
+	s := c.Summarize()
+	if s.OverheadRatio != 4 { // (10-2)/2
+		t.Fatalf("OverheadRatio = %v, want 4", s.OverheadRatio)
+	}
+}
+
+func TestOverheadWithoutDeliveries(t *testing.T) {
+	c := NewCollector()
+	c.TransferCompleted()
+	s := c.Summarize()
+	if !math.IsInf(s.OverheadRatio, 1) {
+		t.Fatalf("OverheadRatio = %v, want +Inf", s.OverheadRatio)
+	}
+}
+
+func TestCounterPassthrough(t *testing.T) {
+	c := NewCollector()
+	c.TransferStarted()
+	c.TransferStarted()
+	c.TransferAborted()
+	c.TransferRefused()
+	c.Dropped()
+	c.Dropped()
+	c.Dropped()
+	c.Expired()
+	s := c.Summarize()
+	if s.Started != 2 || s.Aborted != 1 || s.Refused != 1 || s.PolicyDrops != 3 || s.ExpiredDrops != 1 {
+		t.Fatalf("counters wrong: %+v", s)
+	}
+}
+
+func TestWarmupExclusion(t *testing.T) {
+	c := NewCollector()
+	c.WarmupUntil = 100
+	c.MessageCreated(1, 50)  // warm-up: excluded
+	c.MessageCreated(2, 150) // counted
+	if c.Created != 1 {
+		t.Fatalf("Created = %d, want 1", c.Created)
+	}
+	if !c.IsExcluded(1) || c.IsExcluded(2) {
+		t.Fatal("exclusion marks wrong")
+	}
+	// Delivering the warm-up message leaves all metrics untouched.
+	if c.Delivered(1, 200, 50, 3) {
+		t.Fatal("warm-up delivery reported as first")
+	}
+	c.Delivered(2, 300, 150, 2)
+	s := c.Summarize()
+	if s.Delivered != 1 || s.DeliveryRatio != 1 || s.AvgHops != 2 {
+		t.Fatalf("summary polluted by warm-up: %+v", s)
+	}
+	if s.Duplicates != 0 {
+		t.Fatal("warm-up delivery counted as duplicate")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.MessageCreated(msg.ID(i), 0)
+		c.Delivered(msg.ID(i), float64(i), 0, 1)
+	}
+	s := c.Summarize()
+	if s.MedianLatency != 50 {
+		t.Fatalf("median = %v, want 50", s.MedianLatency)
+	}
+	if s.P95Latency != 95 {
+		t.Fatalf("p95 = %v, want 95", s.P95Latency)
+	}
+	empty := NewCollector().Summarize()
+	if empty.MedianLatency != 0 || empty.P95Latency != 0 {
+		t.Fatal("percentiles nonzero with no deliveries")
+	}
+}

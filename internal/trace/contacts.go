@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Contact mirrors network.Contact for trace I/O without an import cycle:
+// one recorded encounter between two nodes.
+type Contact struct {
+	A, B       int
+	Start, End float64
+}
+
+// ParseContacts reads a contact trace in the common whitespace format used
+// by the Haggle/Infocom datasets and ONE's connectivity reports:
+//
+//	<nodeA> <nodeB> <start> <end>
+//
+// one contact per line, '#' comments and blank lines skipped. Node ids may
+// be arbitrary non-negative integers; they are returned as-is (the caller
+// sizes the network from MaxNode).
+func ParseContacts(r io.Reader) ([]Contact, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Contact
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: node a: %v", lineNo, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: node b: %v", lineNo, err)
+		}
+		start, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: start: %v", lineNo, err)
+		}
+		end, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: end: %v", lineNo, err)
+		}
+		if a < 0 || b < 0 || a == b || end <= start {
+			return nil, fmt.Errorf("trace: line %d: invalid contact %d-%d [%v,%v]", lineNo, a, b, start, end)
+		}
+		out = append(out, Contact{A: a, B: b, Start: start, End: end})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: empty contact trace")
+	}
+	return out, nil
+}
+
+// WriteContacts writes contacts in the ParseContacts format, sorted by
+// start time.
+func WriteContacts(w io.Writer, contacts []Contact) error {
+	sorted := append([]Contact(nil), contacts...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: traces are near-sorted
+		for j := i; j > 0 && sorted[j].Start < sorted[j-1].Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, c := range sorted {
+		if _, err := fmt.Fprintf(bw, "%d %d %g %g\n", c.A, c.B, c.Start, c.End); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MaxNode returns the largest node id in the trace (-1 when empty).
+func MaxNode(contacts []Contact) int {
+	max := -1
+	for _, c := range contacts {
+		if c.A > max {
+			max = c.A
+		}
+		if c.B > max {
+			max = c.B
+		}
+	}
+	return max
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const contactTrace = `# infocom-style contact trace
+0 1 10 60
+1 2 30 90
+0 2 120 150
+`
+
+func TestParseContacts(t *testing.T) {
+	cs, err := ParseContacts(strings.NewReader(contactTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("contacts = %d", len(cs))
+	}
+	if cs[0] != (Contact{A: 0, B: 1, Start: 10, End: 60}) {
+		t.Fatalf("first contact = %+v", cs[0])
+	}
+	if MaxNode(cs) != 2 {
+		t.Fatalf("MaxNode = %d", MaxNode(cs))
+	}
+}
+
+func TestParseContactsErrors(t *testing.T) {
+	bad := []string{
+		"",              // empty
+		"0 1 10\n",      // short
+		"x 1 10 20\n",   // bad id
+		"0 0 10 20\n",   // self contact
+		"0 1 20 10\n",   // inverted interval
+		"-1 1 10 20\n",  // negative id
+		"0 1 10 20 5\n", // too many fields
+	}
+	for _, in := range bad {
+		if _, err := ParseContacts(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseContacts(%q) accepted", in)
+		}
+	}
+}
+
+func TestWriteContactsRoundTrip(t *testing.T) {
+	in := []Contact{
+		{A: 3, B: 1, Start: 50, End: 70},
+		{A: 0, B: 1, Start: 10, End: 60},
+	}
+	var buf bytes.Buffer
+	if err := WriteContacts(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Written sorted by start.
+	if !strings.HasPrefix(buf.String(), "0 1 10 60\n") {
+		t.Fatalf("not sorted:\n%s", buf.String())
+	}
+	out, err := ParseContacts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1] != in[0] {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if MaxNode(nil) != -1 {
+		t.Fatal("MaxNode(nil) != -1")
+	}
+}

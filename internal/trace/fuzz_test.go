@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzzing guards the two text parsers against panics and quadratic
+// behaviour on hostile input; run with `go test -fuzz=FuzzParseCab` etc.
+// for deep exploration — the seed corpus below runs on every `go test`.
+
+func FuzzParseCab(f *testing.F) {
+	f.Add(cabFile)
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("37.7 -122.4 0 100\n37.8 -122.5 1 90\n")
+	f.Add("nan inf 0 100\n")
+	f.Add("37.7 -122.4 2 100\n")
+	f.Add(strings.Repeat("37.7 -122.4 0 100\n", 100))
+	f.Fuzz(func(t *testing.T, in string) {
+		samples, err := ParseCab(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// On success the samples must be time-sorted.
+		for i := 1; i < len(samples); i++ {
+			if samples[i].Time < samples[i-1].Time {
+				t.Fatalf("unsorted output at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzParseONE(f *testing.F) {
+	f.Add(oneTrace)
+	f.Add("")
+	f.Add("0 1 0 10 0 10\n")
+	f.Add("0 1 0 10 0 10\n5 a 3 4\n")
+	f.Add("0 1 0 10 0 10 0 0\n5 a 3 4\n# c\n\n6 b 1 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		fleet, err := ParseONE(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// On success every path is time-sorted and non-empty, and models
+		// can be built.
+		for i, pts := range fleet.Paths {
+			if len(pts) == 0 {
+				t.Fatalf("empty path %d accepted", i)
+			}
+			for j := 1; j < len(pts); j++ {
+				if pts[j].T < pts[j-1].T {
+					t.Fatalf("unsorted path %d", i)
+				}
+			}
+		}
+		if _, err := fleet.Models(); err != nil {
+			t.Fatalf("parsed fleet unusable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sdsrp/internal/geo"
+)
+
+const oneTrace = `0 43200 0 4500 0 3400
+0 n1 100 200
+0 n2 4000 3000
+30 n1 160 200
+30 n2 3940 3000
+60 n1 220 200
+`
+
+func TestParseONE(t *testing.T) {
+	f, err := ParseONE(strings.NewReader(oneTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 2 {
+		t.Fatalf("nodes = %d", f.Nodes())
+	}
+	if f.Area.Max.X != 4500 || f.Area.Max.Y != 3400 {
+		t.Fatalf("area = %v", f.Area)
+	}
+	if len(f.Paths[0]) != 3 || len(f.Paths[1]) != 2 {
+		t.Fatalf("path lengths = %d,%d", len(f.Paths[0]), len(f.Paths[1]))
+	}
+	models, err := f.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n1 moves east at 2 m/s; interpolation at t=15 gives x=130.
+	if p := models[0].Pos(15); math.Abs(p.X-130) > 1e-9 || p.Y != 200 {
+		t.Fatalf("interpolated position = %v", p)
+	}
+}
+
+func TestParseONEShiftsOrigin(t *testing.T) {
+	in := "100 200 1000 2000 500 700\n100 a 1500 600\n"
+	f, err := ParseONE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Paths[0][0].T != 0 {
+		t.Fatalf("time origin = %v", f.Paths[0][0].T)
+	}
+	if f.Paths[0][0].P != (geo.Point{X: 500, Y: 100}) {
+		t.Fatalf("position origin = %v", f.Paths[0][0].P)
+	}
+	if f.Area.Max.X != 1000 || f.Area.Max.Y != 200 {
+		t.Fatalf("area = %v", f.Area)
+	}
+}
+
+func TestParseONEErrors(t *testing.T) {
+	bad := []string{
+		"",                          // empty
+		"1 2 3\n",                   // short header
+		"0 1 0 10 0 x\n",            // bad header field
+		"0 1 0 10 10 0\n",           // inverted area... (maxY < minY)
+		"0 1 0 10 0 10\n1 n1 2\n",   // short sample
+		"0 1 0 10 0 10\nt n1 2 3\n", // bad time
+		"0 1 0 10 0 10\n1 n1 x 3\n", // bad x
+		"0 1 0 10 0 10\n",           // no samples
+	}
+	for _, in := range bad {
+		if _, err := ParseONE(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseONE(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseONEEightFieldHeader(t *testing.T) {
+	in := "0 10 0 10 0 10 0 0\n0 a 1 2\n"
+	if _, err := ParseONE(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteParseONERoundTrip(t *testing.T) {
+	cfg := DefaultSynthesizeConfig()
+	cfg.Nodes = 4
+	cfg.Duration = 300
+	cfg.SampleInterval = 60
+	f := Synthesize(cfg)
+
+	var buf bytes.Buffer
+	if err := WriteONE(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	// Header first, then globally time-sorted rows.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4*6 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	prev := -1.0
+	for _, l := range lines[1:] {
+		fields := strings.Fields(l)
+		if len(fields) != 4 {
+			t.Fatalf("row %q: want 4 fields", l)
+		}
+		tm, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("row %q: %v", l, err)
+		}
+		if tm < prev {
+			t.Fatal("rows not time-sorted")
+		}
+		prev = tm
+	}
+
+	g, err := ParseONE(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != f.Nodes() {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	for i := range f.Paths {
+		for j := range f.Paths[i] {
+			dp := f.Paths[i][j].P.Dist(g.Paths[i][j].P)
+			if dp > 1e-6 {
+				t.Fatalf("node %d point %d drifted %v", i, j, dp)
+			}
+		}
+	}
+}
+
+func TestWriteONEEmpty(t *testing.T) {
+	if err := WriteONE(&bytes.Buffer{}, &Fleet{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}

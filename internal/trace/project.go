@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"math"
+
+	"sdsrp/internal/geo"
+)
+
+// earthRadius in metres (mean).
+const earthRadius = 6371000.0
+
+// Projection converts GPS coordinates to local metres with an
+// equirectangular projection around a reference point — accurate to well
+// under a metre over a city-sized extent, which is all the radio model
+// needs.
+type Projection struct {
+	latRef, lonRef float64
+	cosLat         float64
+}
+
+// NewProjection returns a projection centred on (latRef, lonRef) degrees.
+func NewProjection(latRef, lonRef float64) Projection {
+	return Projection{latRef: latRef, lonRef: lonRef, cosLat: math.Cos(latRef * math.Pi / 180)}
+}
+
+// ToMeters projects a GPS coordinate to local metres (x east, y north).
+func (p Projection) ToMeters(lat, lon float64) geo.Point {
+	return geo.Point{
+		X: earthRadius * (lon - p.lonRef) * math.Pi / 180 * p.cosLat,
+		Y: earthRadius * (lat - p.latRef) * math.Pi / 180,
+	}
+}
+
+// ToGPS inverts ToMeters.
+func (p Projection) ToGPS(pt geo.Point) (lat, lon float64) {
+	lat = p.latRef + pt.Y/earthRadius*180/math.Pi
+	lon = p.lonRef + pt.X/(earthRadius*p.cosLat)*180/math.Pi
+	return lat, lon
+}
+
+// SanFrancisco is the reference point used for the synthetic EPFL
+// substitute (roughly the dataset's centroid).
+var SanFrancisco = NewProjection(37.77, -122.44)

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdsrp/internal/geo"
+)
+
+const cabFile = `37.75134 -122.39488 0 1213084687
+37.75136 -122.39527 0 1213084659
+37.75199 -122.39752 1 1213084540
+`
+
+func TestParseCab(t *testing.T) {
+	samples, err := ParseCab(strings.NewReader(cabFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("len = %d", len(samples))
+	}
+	// Sorted ascending even though the file is newest-first.
+	if samples[0].Time != 1213084540 || samples[2].Time != 1213084687 {
+		t.Fatalf("not sorted: %v", samples)
+	}
+	if !samples[0].Occupied || samples[1].Occupied {
+		t.Fatal("occupancy parsed wrong")
+	}
+	if math.Abs(samples[0].Lat-37.75199) > 1e-9 {
+		t.Fatalf("lat = %v", samples[0].Lat)
+	}
+}
+
+func TestParseCabSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n37.7 -122.4 0 100\n"
+	samples, err := ParseCab(strings.NewReader(in))
+	if err != nil || len(samples) != 1 {
+		t.Fatalf("samples=%v err=%v", samples, err)
+	}
+}
+
+func TestParseCabErrors(t *testing.T) {
+	bad := []string{
+		"37.7 -122.4 0",          // too few fields
+		"37.7 -122.4 0 1 2",      // too many
+		"x -122.4 0 100",         // bad lat
+		"37.7 y 0 100",           // bad lon
+		"37.7 -122.4 7 100",      // bad occupancy
+		"37.7 -122.4 0 notatime", // bad time
+	}
+	for _, in := range bad {
+		if _, err := ParseCab(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseCab(%q) accepted", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	in, err := ParseCab(strings.NewReader(cabFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCab(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Newest first on disk.
+	firstLine := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasSuffix(firstLine, "1213084687") {
+		t.Fatalf("not newest-first: %q", firstLine)
+	}
+	out, err := ParseCab(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Time != in[i].Time || out[i].Occupied != in[i].Occupied ||
+			math.Abs(out[i].Lat-in[i].Lat) > 1e-4 || math.Abs(out[i].Lon-in[i].Lon) > 1e-4 {
+			t.Fatalf("sample %d mismatch: %v vs %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	p := SanFrancisco
+	lat, lon := 37.75, -122.41
+	pt := p.ToMeters(lat, lon)
+	lat2, lon2 := p.ToGPS(pt)
+	if math.Abs(lat2-lat) > 1e-9 || math.Abs(lon2-lon) > 1e-9 {
+		t.Fatalf("round trip: %v %v", lat2, lon2)
+	}
+}
+
+func TestProjectionScale(t *testing.T) {
+	p := SanFrancisco
+	// One degree of latitude is ~111 km.
+	a := p.ToMeters(37.0, -122.44)
+	b := p.ToMeters(38.0, -122.44)
+	if d := b.Y - a.Y; math.Abs(d-111195) > 500 {
+		t.Fatalf("1° latitude = %vm", d)
+	}
+	// One degree of longitude at 37.77°N is ~87.9 km.
+	c := p.ToMeters(37.77, -122.0)
+	d := p.ToMeters(37.77, -121.0)
+	if dx := d.X - c.X; math.Abs(dx-87900) > 500 {
+		t.Fatalf("1° longitude = %vm", dx)
+	}
+}
+
+func TestFromSamplesNormalizes(t *testing.T) {
+	cabs := [][]Sample{
+		{{Lat: 37.75, Lon: -122.42, Time: 1000}, {Lat: 37.76, Lon: -122.41, Time: 1100}},
+		{{Lat: 37.74, Lon: -122.43, Time: 950}, {Lat: 37.75, Lon: -122.42, Time: 1050}},
+	}
+	f, err := FromSamples(cabs, SanFrancisco, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 2 {
+		t.Fatalf("nodes = %d", f.Nodes())
+	}
+	// Earliest sample (950) maps to t=0.
+	if f.Paths[1][0].T != 0 {
+		t.Fatalf("time origin = %v", f.Paths[1][0].T)
+	}
+	if f.Paths[0][0].T != 50 {
+		t.Fatalf("relative time = %v", f.Paths[0][0].T)
+	}
+	// All points inside the padded area.
+	for _, pts := range f.Paths {
+		for _, tp := range pts {
+			if !f.Area.Contains(tp.P) {
+				t.Fatalf("point %v outside area %v", tp.P, f.Area)
+			}
+		}
+	}
+	// Padding kept points off the exact border.
+	if f.Paths[1][0].P.X < 99 {
+		t.Fatalf("padding missing: %v", f.Paths[1][0].P)
+	}
+}
+
+func TestFromSamplesMaxNodes(t *testing.T) {
+	cabs := [][]Sample{
+		{{Lat: 37.75, Lon: -122.42, Time: 0}},
+		{{Lat: 37.76, Lon: -122.41, Time: 0}},
+		{{Lat: 37.77, Lon: -122.40, Time: 0}},
+	}
+	f, err := FromSamples(cabs, SanFrancisco, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", f.Nodes())
+	}
+}
+
+func TestFromSamplesEmpty(t *testing.T) {
+	if _, err := FromSamples(nil, SanFrancisco, 0, 0); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := FromSamples([][]Sample{{}}, SanFrancisco, 0, 0); err == nil {
+		t.Fatal("fleet of empty cabs accepted")
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	cfg := DefaultSynthesizeConfig()
+	cfg.Nodes = 10
+	cfg.Duration = 3600
+	f := Synthesize(cfg)
+	if f.Nodes() != 10 {
+		t.Fatalf("nodes = %d", f.Nodes())
+	}
+	models, err := f.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		for ti := 0; ti <= 3600; ti += 60 {
+			if p := m.Pos(float64(ti)); !f.Area.Contains(p) {
+				t.Fatalf("synthetic taxi left area: %v", p)
+			}
+		}
+	}
+	// Determinism.
+	g := Synthesize(cfg)
+	if g.Paths[3][7] != f.Paths[3][7] {
+		t.Fatal("Synthesize not deterministic")
+	}
+}
+
+func TestSynthesizeSampleCount(t *testing.T) {
+	cfg := DefaultSynthesizeConfig()
+	cfg.Nodes = 1
+	cfg.Duration = 100
+	cfg.SampleInterval = 10
+	f := Synthesize(cfg)
+	if len(f.Paths[0]) != 11 {
+		t.Fatalf("samples = %d, want 11", len(f.Paths[0]))
+	}
+}
+
+func TestToSamplesAndBack(t *testing.T) {
+	cfg := DefaultSynthesizeConfig()
+	cfg.Nodes = 3
+	cfg.Duration = 600
+	f := Synthesize(cfg)
+	cabs := f.ToSamples(SanFrancisco, 1_300_000_000)
+	if len(cabs) != 3 {
+		t.Fatalf("cabs = %d", len(cabs))
+	}
+	// Re-ingest through the parser-facing constructor and verify geometry
+	// survives within GPS-format precision (1e-5 deg ≈ 1 m).
+	f2, err := FromSamples(cabs, SanFrancisco, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Paths {
+		for j := range f.Paths[i] {
+			dt := f.Paths[i][j].T - f2.Paths[i][j].T
+			if math.Abs(dt) > 1 {
+				t.Fatalf("time drift %v", dt)
+			}
+		}
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "new_abc.txt"), []byte(cabFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "new_def.txt"),
+		[]byte("37.76 -122.40 0 1213084600\n37.761 -122.401 1 1213084700\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadDir(dir, SanFrancisco, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 2 {
+		t.Fatalf("nodes = %d", f.Nodes())
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing"), SanFrancisco, 0, 0); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	// A malformed file is reported with its name.
+	os.WriteFile(filepath.Join(dir, "new_bad.txt"), []byte("garbage\n"), 0o644)
+	if _, err := LoadDir(dir, SanFrancisco, 0, 0); err == nil || !strings.Contains(err.Error(), "new_bad.txt") {
+		t.Fatalf("bad file error = %v", err)
+	}
+}
+
+func TestFleetAreaNonDegenerate(t *testing.T) {
+	f := Synthesize(DefaultSynthesizeConfig())
+	if f.Area.W() < 1000 || f.Area.H() < 1000 {
+		t.Fatalf("synthetic area degenerate: %v", f.Area)
+	}
+	_ = geo.Point{}
+}

@@ -1,0 +1,74 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/geo"
+)
+
+// Cross-validation against theory (Groenevelt et al., "Message delay in
+// MANET" — the paper's reference [22]): for random-waypoint mobility with
+// small radio range r relative to the area A, the pairwise meeting rate is
+//
+//	λ ≈ 2·ω·r·E(V*) / A
+//
+// with ω ≈ 1.3683 the RWP correction constant and E(V*) the mean relative
+// speed (= v for equal, constant node speeds... the commonly used
+// approximation is E(V*) ≈ ω·v). The expected number of contacts over a
+// run of length T is then pairs·T·λ. We verify the simulator's contact
+// census lands within ±30% of the analytic prediction — a strong
+// end-to-end check on mobility, grid indexing, and link detection.
+func TestContactRateMatchesGroeneveltTheory(t *testing.T) {
+	sc := config.RandomWaypoint()
+	sc.GenIntervalLo = 0 // mobility only
+	sc.Nodes = 60
+	sc.Area = geo.NewRect(3000, 2500)
+	sc.Duration = 12000
+
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+
+	const omega = 1.3683
+	v := sc.Mobility.SpeedLo // constant 2 m/s
+	area := sc.Area.W() * sc.Area.H()
+	lambda := 2 * omega * sc.Range * (omega * v) / area
+	pairs := float64(sc.Nodes*(sc.Nodes-1)) / 2
+	expected := pairs * sc.Duration * lambda
+
+	got := float64(r.Contacts)
+	if got < expected*0.7 || got > expected*1.3 {
+		t.Fatalf("contacts = %v, analytic prediction %v (±30%%)", got, expected)
+	}
+}
+
+// The same prediction phrased as E(I): the measured mean contact rate per
+// pair inverts to the pairwise mean intermeeting time.
+func TestMeanIntermeetingMatchesTheory(t *testing.T) {
+	sc := config.RandomWaypoint()
+	sc.GenIntervalLo = 0
+	sc.Nodes = 60
+	sc.Area = geo.NewRect(3000, 2500)
+	sc.Duration = 12000
+
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+
+	const omega = 1.3683
+	area := sc.Area.W() * sc.Area.H()
+	lambda := 2 * omega * sc.Range * (omega * sc.Mobility.SpeedLo) / area
+	analyticEI := 1 / lambda
+
+	pairs := float64(sc.Nodes*(sc.Nodes-1)) / 2
+	measuredEI := pairs * sc.Duration / float64(r.Contacts)
+	if math.Abs(measuredEI-analyticEI) > analyticEI*0.3 {
+		t.Fatalf("census E(I) = %v, analytic %v", measuredEI, analyticEI)
+	}
+}

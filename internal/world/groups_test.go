@@ -1,0 +1,92 @@
+package world
+
+import (
+	"testing"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/geo"
+)
+
+func groupScenario() config.Scenario {
+	sc := config.RandomWaypoint()
+	sc.Name = "groups"
+	sc.Area = geo.NewRect(1200, 900)
+	sc.Duration, sc.TTL = 3000, 3000
+	sc.GenIntervalLo, sc.GenIntervalHi = 20, 30
+	sc.InitialCopies = 8
+	sc.PriorMeanIntermeeting = 2000
+	sc.Groups = []config.Group{
+		{Name: "pedestrians", Count: 20, Mobility: config.Mobility{
+			Kind: config.MobilityRWP, SpeedLo: 1, SpeedHi: 2}},
+		{Name: "vehicles", Count: 8, Mobility: config.Mobility{
+			Kind: config.MobilityRWP, SpeedLo: 8, SpeedHi: 14},
+			BufferBytes: 5 * config.MB},
+		{Name: "relays", Count: 4, Mobility: config.Mobility{
+			Kind: config.MobilityStatic}, BufferBytes: 10 * config.MB},
+	}
+	return sc
+}
+
+func TestGroupsBuildAndRun(t *testing.T) {
+	w, err := Build(groupScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Hosts) != 32 {
+		t.Fatalf("hosts = %d, want 32", len(w.Hosts))
+	}
+	// Per-group buffer capacities.
+	if w.Hosts[0].Buffer().Capacity() != 2_500_000 {
+		t.Fatalf("pedestrian buffer = %d", w.Hosts[0].Buffer().Capacity())
+	}
+	if w.Hosts[20].Buffer().Capacity() != 5_000_000 {
+		t.Fatalf("vehicle buffer = %d", w.Hosts[20].Buffer().Capacity())
+	}
+	if w.Hosts[28].Buffer().Capacity() != 10_000_000 {
+		t.Fatalf("relay buffer = %d", w.Hosts[28].Buffer().Capacity())
+	}
+	r := w.Run()
+	if r.Created == 0 || r.Contacts == 0 {
+		t.Fatalf("degenerate group run: %+v", r.Summary)
+	}
+	if r.Delivered == 0 {
+		t.Fatal("no deliveries in dense heterogeneous scenario")
+	}
+}
+
+func TestGroupsStaticNodesDoNotMove(t *testing.T) {
+	sc := groupScenario()
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	// Static relays occupy ids 28..31; verify their mobility by sampling
+	// through a fresh build (models are not exported, so rebuild and check
+	// determinism of the whole run instead).
+	w2, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Run().Summary != w2.Run().Summary {
+		t.Fatal("group scenario not deterministic")
+	}
+}
+
+func TestGroupsValidation(t *testing.T) {
+	sc := groupScenario()
+	sc.Groups[0].Count = 0
+	if _, err := Build(sc); err == nil {
+		t.Fatal("zero-count group accepted")
+	}
+	sc = groupScenario()
+	sc.Groups[1].Mobility.Kind = config.MobilityTraceDir
+	if _, err := Build(sc); err == nil {
+		t.Fatal("trace mobility inside a group accepted")
+	}
+	sc = groupScenario()
+	sc.Groups[2].BufferBytes = 100 // smaller than one message
+	if _, err := Build(sc); err == nil {
+		t.Fatal("undersized group buffer accepted")
+	}
+}

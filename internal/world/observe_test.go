@@ -1,0 +1,114 @@
+package world
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimelineSampling(t *testing.T) {
+	sc := smallScenario("SDSRP")
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableTimeline(500)
+	w.Run()
+	pts := w.Timeline()
+	if len(pts) != 8 { // 4000s / 500s
+		t.Fatalf("timeline points = %d, want 8", len(pts))
+	}
+	prevT := 0.0
+	prevCreated := 0
+	for _, p := range pts {
+		if p.T <= prevT {
+			t.Fatal("timeline not strictly increasing in time")
+		}
+		if p.Created < prevCreated {
+			t.Fatal("created counter decreased")
+		}
+		if p.BufferFill < 0 || p.BufferFill > 1 {
+			t.Fatalf("buffer fill = %v", p.BufferFill)
+		}
+		prevT, prevCreated = p.T, p.Created
+	}
+	last := pts[len(pts)-1]
+	if last.Created == 0 || last.Delivered == 0 {
+		t.Fatalf("final snapshot degenerate: %+v", last)
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	pts := []TimelinePoint{
+		{T: 10, Created: 2, Delivered: 1, DeliveryRatio: 0.5, Forwards: 3, PolicyDrops: 1, ActiveLinks: 4, BufferFill: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t,created,delivered") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "10,2,1,0.5,3,1,4,0.25" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestMessageFates(t *testing.T) {
+	sc := smallScenario("SprayAndWait")
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+	fates := w.MessageFates()
+	if len(fates) != r.Created {
+		t.Fatalf("fates = %d, created = %d", len(fates), r.Created)
+	}
+	delivered := 0
+	for i, f := range fates {
+		if i > 0 && f.Created < fates[i-1].Created {
+			t.Fatal("fates not in generation order")
+		}
+		if f.Source == f.Dest {
+			t.Fatal("self-addressed message")
+		}
+		if f.Delivered {
+			delivered++
+			if f.Latency <= 0 || f.Hops < 1 {
+				t.Fatalf("delivered fate inconsistent: %+v", f)
+			}
+		}
+		if f.LiveCopies < 0 || f.EverSeen < 0 {
+			t.Fatalf("negative counts: %+v", f)
+		}
+	}
+	if delivered != r.Delivered {
+		t.Fatalf("fate deliveries = %d, summary = %d", delivered, r.Delivered)
+	}
+}
+
+func TestFatesCSV(t *testing.T) {
+	fates := []Fate{
+		{ID: 1, Source: 0, Dest: 5, Created: 30, Delivered: true, Latency: 12.5, Hops: 3, LiveCopies: 2, EverSeen: 7},
+		{ID: 2, Source: 1, Dest: 4, Created: 60},
+	}
+	var buf bytes.Buffer
+	if err := WriteFatesCSV(&buf, fates); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1] != "1,0,5,30,true,12.5,3,2,7" {
+		t.Fatalf("delivered row = %q", lines[1])
+	}
+	if lines[2] != "2,1,4,60,false,,,0,0" {
+		t.Fatalf("undelivered row = %q", lines[2])
+	}
+}

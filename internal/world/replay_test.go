@@ -1,0 +1,81 @@
+package world
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/trace"
+)
+
+// The export/replay loop: a mobility-driven run with contact recording,
+// exported as a trace, replayed in contact-trace mode, must see the exact
+// same contact structure and land on closely matching metrics (event
+// ordering within one scan tick may differ, so metrics are compared with a
+// tolerance rather than bit-exactly).
+func TestContactExportReplayLoop(t *testing.T) {
+	sc := smallScenario("SprayAndWait")
+	sc.RecordContacts = true
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := w.Run()
+	log := w.Manager.ContactLog()
+	if len(log) == 0 {
+		t.Fatal("no contacts recorded")
+	}
+
+	// Export.
+	contacts := make([]trace.Contact, len(log))
+	for i, c := range log {
+		contacts[i] = trace.Contact{A: c.A, B: c.B, Start: c.Start, End: c.End}
+	}
+	path := filepath.Join(t.TempDir(), "contacts.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteContacts(f, contacts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Replay.
+	rep := sc
+	rep.RecordContacts = false
+	rep.ContactTraceFile = path
+	rep.Nodes = 2 // raised to the trace population
+	w2, err := Build(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := w2.Run()
+
+	// Links still up at the horizon were not exported, so the replay sees
+	// at most the original contact count, within a small margin.
+	if replay.Contacts > orig.Contacts || replay.Contacts < orig.Contacts-len(w.Hosts) {
+		t.Fatalf("contacts: replay %d vs original %d", replay.Contacts, orig.Contacts)
+	}
+	if math.Abs(replay.DeliveryRatio-orig.DeliveryRatio) > 0.1 {
+		t.Fatalf("delivery drifted: replay %.3f vs original %.3f",
+			replay.DeliveryRatio, orig.DeliveryRatio)
+	}
+	if replay.Created == 0 || replay.Delivered == 0 {
+		t.Fatal("replay degenerate")
+	}
+}
+
+func TestContactLogDisabledByDefault(t *testing.T) {
+	w, err := Build(smallScenario("SprayAndWait"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if len(w.Manager.ContactLog()) != 0 {
+		t.Fatal("contacts recorded without RecordContacts")
+	}
+	_ = config.MB
+}

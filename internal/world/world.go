@@ -1,0 +1,459 @@
+// Package world assembles a full simulation from a config.Scenario: engine,
+// mobility, hosts, radio, traffic, and TTL sweeps — the equivalent of the
+// ONE simulator's scenario loader.
+package world
+
+import (
+	"fmt"
+	"os"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/core"
+	"sdsrp/internal/geo"
+	"sdsrp/internal/graph"
+	"sdsrp/internal/mobility"
+	"sdsrp/internal/msg"
+	"sdsrp/internal/network"
+	"sdsrp/internal/policy"
+	"sdsrp/internal/rng"
+	"sdsrp/internal/routing"
+	"sdsrp/internal/sim"
+	"sdsrp/internal/stats"
+	"sdsrp/internal/trace"
+)
+
+// World is one assembled simulation run.
+type World struct {
+	Scenario     config.Scenario
+	Engine       *sim.Engine
+	Hosts        []*routing.Host
+	Manager      *network.Manager
+	Collector    *stats.Collector
+	Intermeeting *stats.Intermeeting
+	Tracker      *routing.Tracker
+
+	started   bool
+	timeline  []TimelinePoint
+	msgLog    []msgRecord
+	scheduled []network.Contact // non-nil for contact-trace-driven runs
+}
+
+// msgRecord remembers each generated message for fate reporting.
+type msgRecord struct {
+	id       msg.ID
+	src, dst int
+	created  float64
+}
+
+// Result is the digest of a finished run.
+type Result struct {
+	stats.Summary
+	Scenario config.Scenario
+	Contacts int
+	// MeanContactDuration is the average length of finished contacts in
+	// seconds.
+	MeanContactDuration float64
+	// Energy summarizes the battery model (Enabled false when off).
+	Energy network.EnergyReport
+	// MeanIntermeeting and ExpFitError are populated only when the
+	// scenario records intermeeting samples (Fig. 3 runs).
+	MeanIntermeeting float64
+	ExpFitError      float64
+	IntermeetingN    int
+}
+
+// Build validates the scenario and assembles a world. It does not start the
+// clock; call Run.
+func Build(sc config.Scenario) (*World, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("world: invalid scenario %q: %w", sc.Name, err)
+	}
+	root := rng.New(sc.Seed)
+	eng := sim.NewEngine()
+	collector := stats.NewCollector()
+	collector.WarmupUntil = sc.Warmup
+	tracker := routing.NewTracker()
+
+	var scheduled []network.Contact
+	var models []mobility.Model
+	var buffers []int64
+	var ranges []float64
+	var area geo.Rect
+	var nodes int
+	var err error
+	if sc.ContactTraceFile != "" {
+		scheduled, models, buffers, ranges, area, nodes, err = buildScheduled(sc)
+	} else {
+		models, buffers, ranges, area, nodes, err = buildPopulation(sc, root)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc.Nodes = nodes
+	sc.Area = area
+
+	if _, ok := routing.ProtocolByName(sc.ProtocolName); !ok {
+		return nil, fmt.Errorf("world: unknown protocol %q", sc.ProtocolName)
+	}
+
+	useDrops := policyUsesDropList(sc.PolicyName) && !sc.DisableDropList
+	hosts := make([]*routing.Host, nodes)
+	for i := 0; i < nodes; i++ {
+		pol, perr := policy.ByName(sc.PolicyName, root.SplitIndex("policy", i))
+		if perr != nil {
+			return nil, fmt.Errorf("world: %w", perr)
+		}
+		var rate core.RateSource
+		switch {
+		case sc.OracleRateMean > 0:
+			rate = core.FixedRate{Mean: sc.OracleRateMean}
+		case sc.GapLambdaEstimator:
+			rate = core.NewLambdaEstimator(sc.PriorMeanIntermeeting, sc.PriorWeight)
+		default:
+			rate = core.NewCensusEstimator(sc.PriorMeanIntermeeting, sc.PriorWeight, nodes)
+		}
+		// Stateful protocols carry per-node tables: one instance per host.
+		proto, _ := routing.ProtocolByName(sc.ProtocolName)
+		hosts[i] = routing.NewHost(routing.HostConfig{
+			ID:                i,
+			Nodes:             nodes,
+			Buffer:            buffers[i],
+			Policy:            pol,
+			Proto:             proto,
+			Rate:              rate,
+			UseDropList:       useDrops,
+			UseAcks:           sc.UseAcks,
+			PreflightEviction: sc.PreflightEviction,
+			Clock:             eng.Now,
+			Collector:         collector,
+			Tracker:           tracker,
+			Oracle:            tracker,
+		})
+	}
+
+	var inter *stats.Intermeeting
+	if sc.RecordIntermeeting {
+		inter = &stats.Intermeeting{}
+	}
+	mgr := network.NewManager(eng, network.Config{
+		Area:           area,
+		Range:          sc.Range,
+		Bandwidth:      sc.Bandwidth,
+		ScanInterval:   sc.ScanInterval,
+		Ranges:         ranges,
+		RecordContacts: sc.RecordContacts,
+		Energy: network.EnergyConfig{
+			Capacity:   sc.Energy.Capacity,
+			ScanPerSec: sc.Energy.ScanPerSec,
+			TxPerSec:   sc.Energy.TxPerSec,
+			RxPerSec:   sc.Energy.RxPerSec,
+		},
+	}, hosts, models, collector, inter)
+
+	w := &World{
+		scheduled:    scheduled,
+		Scenario:     sc,
+		Engine:       eng,
+		Hosts:        hosts,
+		Manager:      mgr,
+		Collector:    collector,
+		Intermeeting: inter,
+		Tracker:      tracker,
+	}
+	w.scheduleTraffic(root.Split("traffic"))
+	eng.Every(sc.ExpiryInterval, func(now float64) {
+		for _, h := range hosts {
+			h.ExpireMessages(now)
+		}
+	})
+	return w, nil
+}
+
+// policyUsesDropList reports whether the named policy relies on the Fig. 5
+// dropped-list machinery (SDSRP and its Taylor variants).
+func policyUsesDropList(name string) bool {
+	return (len(name) >= 5 && name[:5] == "SDSRP") || name == "Knapsack"
+}
+
+// buildScheduled loads a contact trace and fabricates the static population
+// that replays it (positions are irrelevant in scheduled mode).
+func buildScheduled(sc config.Scenario) ([]network.Contact, []mobility.Model, []int64, []float64, geo.Rect, int, error) {
+	f, err := os.Open(sc.ContactTraceFile)
+	if err != nil {
+		return nil, nil, nil, nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+	}
+	defer f.Close()
+	raw, err := trace.ParseContacts(f)
+	if err != nil {
+		return nil, nil, nil, nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+	}
+	nodes := trace.MaxNode(raw) + 1
+	if sc.Nodes > nodes {
+		nodes = sc.Nodes
+	}
+	contacts := make([]network.Contact, len(raw))
+	for i, c := range raw {
+		contacts[i] = network.Contact{A: c.A, B: c.B, Start: c.Start, End: c.End}
+	}
+	models := make([]mobility.Model, nodes)
+	buffers := make([]int64, nodes)
+	for i := range models {
+		models[i] = mobility.Static{}
+		buffers[i] = sc.BufferBytes
+	}
+	return contacts, models, buffers, nil, geo.NewRect(1, 1), nodes, nil
+}
+
+// buildPopulation resolves the scenario into per-node mobility models and
+// buffer capacities, handling both homogeneous scenarios and node groups.
+func buildPopulation(sc config.Scenario, root *rng.Stream) ([]mobility.Model, []int64, []float64, geo.Rect, int, error) {
+	if len(sc.Groups) > 0 {
+		return buildGroups(sc, root)
+	}
+	models, area, nodes, err := buildMobility(sc, root)
+	if err != nil {
+		return nil, nil, nil, geo.Rect{}, 0, err
+	}
+	buffers := make([]int64, nodes)
+	for i := range buffers {
+		buffers[i] = sc.BufferBytes
+	}
+	return models, buffers, nil, area, nodes, nil
+}
+
+// buildGroups assembles a heterogeneous population. All groups share the
+// scenario area; node ids are assigned group by group in declaration order.
+func buildGroups(sc config.Scenario, root *rng.Stream) ([]mobility.Model, []int64, []float64, geo.Rect, int, error) {
+	mroot := root.Split("mobility")
+	var models []mobility.Model
+	var buffers []int64
+	var ranges []float64
+	for gi, g := range sc.Groups {
+		buf := g.BufferBytes
+		if buf <= 0 {
+			buf = sc.BufferBytes
+		}
+		radioRange := g.Range
+		if radioRange <= 0 {
+			radioRange = sc.Range
+		}
+		for k := 0; k < g.Count; k++ {
+			i := len(models)
+			stream := mroot.SplitIndex("node", i)
+			var m mobility.Model
+			switch g.Mobility.Kind {
+			case config.MobilityRWP:
+				m = mobility.NewRandomWaypoint(sc.Area,
+					g.Mobility.SpeedLo, g.Mobility.SpeedHi,
+					g.Mobility.PauseLo, g.Mobility.PauseHi, stream)
+			case config.MobilityRandomWalk:
+				m = mobility.NewRandomWalk(sc.Area,
+					g.Mobility.SpeedLo, g.Mobility.SpeedHi,
+					g.Mobility.EpochDist, stream)
+			case config.MobilityRandomDirection:
+				m = mobility.NewRandomDirection(sc.Area,
+					g.Mobility.SpeedLo, g.Mobility.SpeedHi,
+					g.Mobility.PauseLo, g.Mobility.PauseHi, stream)
+			case config.MobilityStatic:
+				m = mobility.Static{P: geo.Point{
+					X: stream.Uniform(sc.Area.Min.X, sc.Area.Max.X),
+					Y: stream.Uniform(sc.Area.Min.Y, sc.Area.Max.Y),
+				}}
+			default:
+				return nil, nil, nil, geo.Rect{}, 0, fmt.Errorf("world: group %d: unsupported mobility %q", gi, g.Mobility.Kind)
+			}
+			models = append(models, m)
+			buffers = append(buffers, buf)
+			ranges = append(ranges, radioRange)
+		}
+	}
+	return models, buffers, ranges, sc.Area, len(models), nil
+}
+
+func buildMobility(sc config.Scenario, root *rng.Stream) ([]mobility.Model, geo.Rect, int, error) {
+	mroot := root.Split("mobility")
+	switch sc.Mobility.Kind {
+	case config.MobilityRWP:
+		models := make([]mobility.Model, sc.Nodes)
+		for i := range models {
+			models[i] = mobility.NewRandomWaypoint(sc.Area,
+				sc.Mobility.SpeedLo, sc.Mobility.SpeedHi,
+				sc.Mobility.PauseLo, sc.Mobility.PauseHi,
+				mroot.SplitIndex("node", i))
+		}
+		return models, sc.Area, sc.Nodes, nil
+	case config.MobilityRandomWalk:
+		models := make([]mobility.Model, sc.Nodes)
+		for i := range models {
+			models[i] = mobility.NewRandomWalk(sc.Area,
+				sc.Mobility.SpeedLo, sc.Mobility.SpeedHi,
+				sc.Mobility.EpochDist, mroot.SplitIndex("node", i))
+		}
+		return models, sc.Area, sc.Nodes, nil
+	case config.MobilityRandomDirection:
+		models := make([]mobility.Model, sc.Nodes)
+		for i := range models {
+			models[i] = mobility.NewRandomDirection(sc.Area,
+				sc.Mobility.SpeedLo, sc.Mobility.SpeedHi,
+				sc.Mobility.PauseLo, sc.Mobility.PauseHi,
+				mroot.SplitIndex("node", i))
+		}
+		return models, sc.Area, sc.Nodes, nil
+	case config.MobilityTaxi:
+		fleet := trace.Synthesize(trace.SynthesizeConfig{
+			Taxi:           sc.Mobility.Taxi,
+			Nodes:          sc.Nodes,
+			Duration:       sc.Duration,
+			SampleInterval: sc.Mobility.SampleInterval,
+			Seed:           sc.Seed,
+		})
+		models, err := fleet.Models()
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		return models, fleet.Area, fleet.Nodes(), nil
+	case config.MobilityTraceDir:
+		fleet, err := trace.LoadDir(sc.Mobility.TraceDir, trace.SanFrancisco, sc.Range, sc.Nodes)
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		models, err := fleet.Models()
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		return models, fleet.Area, fleet.Nodes(), nil
+	case config.MobilityMapGrid, config.MobilityMapFile:
+		var g *graph.Graph
+		var err error
+		if sc.Mobility.Kind == config.MobilityMapGrid {
+			g, err = graph.GridCity(sc.Mobility.MapCols, sc.Mobility.MapRows,
+				sc.Mobility.MapSpacing, sc.Mobility.MapDropProb, mroot.Split("map"))
+		} else {
+			snap := sc.Mobility.MapSnap
+			if snap <= 0 {
+				snap = 1
+			}
+			var f *os.File
+			f, err = os.Open(sc.Mobility.MapFile)
+			if err != nil {
+				return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+			}
+			g, err = graph.ParseEdgeList(f, snap)
+			f.Close()
+		}
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		models := make([]mobility.Model, sc.Nodes)
+		for i := range models {
+			m, merr := mobility.NewMapRoute(g,
+				sc.Mobility.SpeedLo, sc.Mobility.SpeedHi,
+				sc.Mobility.PauseLo, sc.Mobility.PauseHi,
+				mroot.SplitIndex("node", i))
+			if merr != nil {
+				return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", merr)
+			}
+			models[i] = m
+		}
+		// Pad the radio area slightly so border vertices sit inside it.
+		area := g.Bounds()
+		area.Max.X += sc.Range
+		area.Max.Y += sc.Range
+		area.Min.X -= sc.Range
+		area.Min.Y -= sc.Range
+		return models, area, sc.Nodes, nil
+	case config.MobilityONEFile:
+		f, err := os.Open(sc.Mobility.TraceFile)
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		defer f.Close()
+		fleet, err := trace.ParseONE(f)
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		models, err := fleet.Models()
+		if err != nil {
+			return nil, geo.Rect{}, 0, fmt.Errorf("world: %w", err)
+		}
+		return models, fleet.Area, fleet.Nodes(), nil
+	default:
+		return nil, geo.Rect{}, 0, fmt.Errorf("world: unknown mobility kind %q", sc.Mobility.Kind)
+	}
+}
+
+// scheduleTraffic installs the network-wide message generator: one message
+// every Uniform[lo,hi] seconds between a uniformly chosen (src ≠ dst) pair.
+func (w *World) scheduleTraffic(s *rng.Stream) {
+	sc := w.Scenario
+	if sc.GenIntervalLo <= 0 {
+		return
+	}
+	var nextID msg.ID
+	var schedule func(now float64)
+	schedule = func(now float64) {
+		delay := s.Uniform(sc.GenIntervalLo, sc.GenIntervalHi)
+		w.Engine.At(now+delay, func(at float64) {
+			nextID++
+			src := s.IntN(sc.Nodes)
+			dst := s.IntN(sc.Nodes - 1)
+			if dst >= src {
+				dst++
+			}
+			size := sc.MessageSize
+			if sc.MessageSizeHi > sc.MessageSize {
+				size = sc.MessageSize + int64(s.Float64()*float64(sc.MessageSizeHi-sc.MessageSize))
+			}
+			m := &msg.Message{
+				ID:            nextID,
+				Source:        src,
+				Dest:          dst,
+				Size:          size,
+				Created:       at,
+				TTL:           sc.TTL,
+				InitialCopies: sc.InitialCopies,
+			}
+			w.msgLog = append(w.msgLog, msgRecord{id: nextID, src: src, dst: dst, created: at})
+			if w.Hosts[src].Originate(m, at) {
+				w.Manager.Kick(src, at)
+			}
+			schedule(at)
+		})
+	}
+	schedule(0)
+}
+
+// Run executes the scenario to its horizon and returns the result digest.
+func (w *World) Run() Result {
+	if !w.started {
+		if w.scheduled != nil {
+			if err := w.Manager.StartScheduled(w.scheduled); err != nil {
+				// Contacts were validated at Build time; a failure here is
+				// a programming error.
+				panic(err)
+			}
+		} else {
+			w.Manager.Start()
+		}
+		w.started = true
+	}
+	w.Engine.Run(w.Scenario.Duration)
+	return w.Result()
+}
+
+// Result summarizes the run so far (useful mid-run for progress output).
+func (w *World) Result() Result {
+	r := Result{
+		Summary:             w.Collector.Summarize(),
+		Scenario:            w.Scenario,
+		Contacts:            w.Manager.Contacts(),
+		MeanContactDuration: w.Manager.ContactDurations().Mean(),
+		Energy:              w.Manager.EnergyReport(),
+	}
+	if w.Intermeeting != nil {
+		r.MeanIntermeeting = w.Intermeeting.Mean()
+		r.ExpFitError = w.Intermeeting.ExpFitError()
+		r.IntermeetingN = w.Intermeeting.Count()
+	}
+	return r
+}

@@ -1,0 +1,157 @@
+// Package sdsrp is a discrete-event delay-tolerant-network (DTN) simulator
+// and a reference implementation of SDSRP — the message Scheduling and Drop
+// Strategy on the Spray-and-Wait Routing Protocol of Wang, Yang, Wu and Liu
+// (ICPP 2015).
+//
+// The package is a façade over the internal implementation:
+//
+//   - Scenario describes a run (presets RandomWaypointScenario and
+//     EPFLScenario reproduce the paper's Tables II and III);
+//   - Run executes one scenario and returns the headline metrics (delivery
+//     ratio, average hopcounts, overhead ratio);
+//   - Experiments / RunExperiment regenerate every figure of the paper;
+//   - RegisterPolicy plugs user-defined buffer-management strategies into
+//     the comparison harness.
+//
+// A minimal session:
+//
+//	sc := sdsrp.RandomWaypointScenario()
+//	sc.PolicyName = "SDSRP"
+//	res, err := sdsrp.Run(sc)
+//	if err != nil { ... }
+//	fmt.Println(res.DeliveryRatio, res.AvgHops, res.OverheadRatio)
+package sdsrp
+
+import (
+	"io"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/experiment"
+	"sdsrp/internal/msg"
+	"sdsrp/internal/policy"
+	"sdsrp/internal/report"
+	"sdsrp/internal/rng"
+	"sdsrp/internal/world"
+)
+
+// Core simulation types.
+type (
+	// Scenario fully describes one simulation run.
+	Scenario = config.Scenario
+	// Mobility selects and parameterizes the movement model.
+	Mobility = config.Mobility
+	// Result is the digest of a finished run.
+	Result = world.Result
+	// World is an assembled simulation (exposed for callers that want to
+	// inspect hosts or step the engine themselves).
+	World = world.World
+)
+
+// Experiment and reporting types.
+type (
+	// ExperimentOptions tunes experiment cost (scale, node count, seeds,
+	// worker parallelism).
+	ExperimentOptions = experiment.Options
+	// ExperimentSpec names one runnable figure/ablation.
+	ExperimentSpec = experiment.Spec
+	// Panel is one reproduced sub-figure (table + chart renderable).
+	Panel = report.Panel
+	// Curve is one line on a panel.
+	Curve = report.Curve
+)
+
+// Policy-extension types.
+type (
+	// Policy scores messages for scheduling (high first) and dropping
+	// (low first).
+	Policy = policy.Policy
+	// PolicyView is the node state visible to a policy.
+	PolicyView = policy.View
+	// Stored is one node's copy of a message.
+	Stored = msg.Stored
+	// Message is the immutable identity of a DTN bundle.
+	Message = msg.Message
+	// RandomStream is a deterministic random stream handed to policy
+	// factories.
+	RandomStream = rng.Stream
+)
+
+// MB is the decimal megabyte used by buffer/message sizes.
+const MB = config.MB
+
+// Group is one homogeneous sub-population of a heterogeneous scenario.
+type Group = config.Group
+
+// TimelinePoint is one periodic snapshot of global run state.
+type TimelinePoint = world.TimelinePoint
+
+// Fate is the end-of-run outcome of one generated message.
+type Fate = world.Fate
+
+// WriteTimelineCSV writes timeline snapshots as CSV.
+func WriteTimelineCSV(w io.Writer, pts []TimelinePoint) error {
+	return world.WriteTimelineCSV(w, pts)
+}
+
+// WriteFatesCSV writes per-message outcomes as CSV.
+func WriteFatesCSV(w io.Writer, fates []Fate) error {
+	return world.WriteFatesCSV(w, fates)
+}
+
+// RandomWaypointScenario returns the paper's Table II synthetic preset.
+func RandomWaypointScenario() Scenario { return config.RandomWaypoint() }
+
+// EPFLScenario returns the paper's Table III taxi-trace preset (backed by
+// the synthetic San Francisco fleet — see DESIGN.md §4).
+func EPFLScenario() Scenario { return config.EPFL() }
+
+// Build assembles a world without running it.
+func Build(sc Scenario) (*World, error) { return world.Build(sc) }
+
+// Run builds and executes one scenario.
+func Run(sc Scenario) (Result, error) {
+	w, err := world.Build(sc)
+	if err != nil {
+		return Result{}, err
+	}
+	return w.Run(), nil
+}
+
+// RunAll executes scenarios in parallel over the given worker count
+// (0 = GOMAXPROCS) and returns results in input order.
+func RunAll(scs []Scenario, workers int) ([]Result, error) {
+	return experiment.Run(scs, workers, nil)
+}
+
+// Experiments lists every reproducible figure and ablation.
+func Experiments() []ExperimentSpec { return experiment.All() }
+
+// RunExperiment regenerates one figure by registry name (e.g.
+// "fig8copies").
+func RunExperiment(name string, o ExperimentOptions) ([]Panel, error) {
+	spec, ok := experiment.ByName(name)
+	if !ok {
+		return nil, errUnknownExperiment(name)
+	}
+	return spec.Run(o)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "sdsrp: unknown experiment " + string(e)
+}
+
+// RegisterPolicy plugs a user-defined buffer-management strategy into the
+// harness under the given name, making it usable as Scenario.PolicyName
+// and in experiment option policy lists.
+func RegisterPolicy(name string, factory func(*RandomStream) Policy) error {
+	return policy.Register(name, func(s *rng.Stream) policy.Policy { return factory(s) })
+}
+
+// PaperPolicies are the four strategies compared throughout Section IV, in
+// the paper's order: plain Spray-and-Wait (FIFO), Spray-and-Wait-O,
+// Spray-and-Wait-C, and SDSRP.
+func PaperPolicies() []string {
+	return append([]string(nil), experiment.PaperPolicies...)
+}

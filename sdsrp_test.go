@@ -1,0 +1,109 @@
+package sdsrp_test
+
+import (
+	"testing"
+
+	"sdsrp"
+)
+
+func demoScenario() sdsrp.Scenario {
+	sc := sdsrp.RandomWaypointScenario()
+	sc.Nodes = 24
+	sc.Area.Max.X, sc.Area.Max.Y = 1200, 900
+	sc.Duration, sc.TTL = 2500, 2500
+	return sc
+}
+
+func TestPublicRun(t *testing.T) {
+	res, err := sdsrp.Run(demoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Created == 0 || res.Contacts == 0 {
+		t.Fatalf("degenerate run: %+v", res.Summary)
+	}
+}
+
+func TestPublicRunRejectsInvalid(t *testing.T) {
+	sc := demoScenario()
+	sc.Nodes = 0
+	if _, err := sdsrp.Run(sc); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestPublicBuildExposesWorld(t *testing.T) {
+	w, err := sdsrp.Build(demoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Hosts) != 24 {
+		t.Fatalf("hosts = %d", len(w.Hosts))
+	}
+	res := w.Run()
+	if res.Created == 0 {
+		t.Fatal("world run produced nothing")
+	}
+}
+
+func TestPublicRunAllOrdering(t *testing.T) {
+	a := demoScenario()
+	b := demoScenario()
+	b.PolicyName = "SprayAndWait"
+	results, err := sdsrp.RunAll([]sdsrp.Scenario{a, b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Scenario.PolicyName != "SDSRP" || results[1].Scenario.PolicyName != "SprayAndWait" {
+		t.Fatal("results out of order")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(sdsrp.Experiments()) < 12 {
+		t.Fatal("experiment registry too small")
+	}
+	if _, err := sdsrp.RunExperiment("no-such-figure", sdsrp.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	panels, err := sdsrp.RunExperiment("fig4", sdsrp.ExperimentOptions{})
+	if err != nil || len(panels) != 1 {
+		t.Fatalf("fig4: %v panels=%d", err, len(panels))
+	}
+}
+
+func TestPublicPaperPolicies(t *testing.T) {
+	ps := sdsrp.PaperPolicies()
+	if len(ps) != 4 || ps[3] != "SDSRP" {
+		t.Fatalf("paper policies = %v", ps)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// harness defaults.
+	ps[0] = "corrupted"
+	if sdsrp.PaperPolicies()[0] != "SprayAndWait" {
+		t.Fatal("PaperPolicies exposes internal state")
+	}
+}
+
+type flatPolicy struct{}
+
+func (flatPolicy) Name() string                                      { return "Flat" }
+func (flatPolicy) SendScore(sdsrp.PolicyView, *sdsrp.Stored) float64 { return 1 }
+func (flatPolicy) DropScore(sdsrp.PolicyView, *sdsrp.Stored) float64 { return 1 }
+
+func TestPublicRegisterPolicy(t *testing.T) {
+	if err := sdsrp.RegisterPolicy("FlatTest", func(*sdsrp.RandomStream) sdsrp.Policy {
+		return flatPolicy{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc := demoScenario()
+	sc.PolicyName = "FlatTest"
+	res, err := sdsrp.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Created == 0 {
+		t.Fatal("custom-policy run degenerate")
+	}
+}
