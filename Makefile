@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz experiments check examples clean
+.PHONY: all build vet test test-short race bench fuzz experiments check examples clean
 
 all: build vet test
 
@@ -17,6 +17,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass; exercises the concurrent experiment runner.
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

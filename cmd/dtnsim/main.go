@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"sdsrp"
@@ -49,6 +50,8 @@ func main() {
 		fatesOut         = flag.String("fates", "", "write per-message outcome CSV to this path")
 		timelineOut      = flag.String("timeline", "", "write periodic run snapshots as CSV to this path")
 		timelineInterval = flag.Float64("timeline-interval", 60, "snapshot period in seconds for -timeline")
+		eventsOut        = flag.String("events", "", "write the structured lifecycle event log (JSONL) to this path")
+		profileOut       = flag.String("profile", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
 
@@ -147,14 +150,49 @@ func main() {
 		return
 	}
 
-	w, err := sdsrp.Build(sc)
+	var events *os.File
+	var jsonl *sdsrp.JSONLTracer
+	var buildOpts []sdsrp.BuildOption
+	if *eventsOut != "" {
+		var err error
+		events, err = os.Create(*eventsOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		jsonl = sdsrp.NewJSONLTracer(events)
+		buildOpts = append(buildOpts, sdsrp.WithTracer(jsonl))
+	}
+	w, err := sdsrp.Build(sc, buildOpts...)
 	if err != nil {
 		fatal("%v", err)
 	}
 	if *timelineOut != "" {
 		w.EnableTimeline(*timelineInterval)
 	}
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal("%v", err)
+			}
+		}()
+	}
 	res := w.Run()
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fatal("%v", err)
+		}
+		if err := events.Close(); err != nil {
+			fatal("%v", err)
+		}
+	}
 	if *exportContacts != "" {
 		f, err := os.Create(*exportContacts)
 		if err != nil {
@@ -222,6 +260,10 @@ func main() {
 	if res.Energy.Enabled {
 		fmt.Printf("energy          used=%.0fJ dead=%d meanLevel=%.2f firstDeath=%.0fs\n",
 			res.Energy.TotalUsed, res.Energy.DeadNodes, res.Energy.MeanLevel, res.Energy.FirstDeath)
+	}
+	fmt.Printf("perf            %s\n", res.Perf)
+	if *eventsOut != "" {
+		fmt.Printf("events          wrote %s\n", *eventsOut)
 	}
 }
 

@@ -67,11 +67,14 @@ func main() {
 		opts.Seeds = append(opts.Seeds, v)
 	}
 	if !*quiet {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r  %d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+		opts.ProgressStats = func(p sdsrp.ExperimentProgress) {
+			if p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %s%s\n",
+					p.Done, p.Total, p.Elapsed.Round(time.Millisecond), strings.Repeat(" ", 12))
+				return
 			}
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %s  eta %s   ",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
 		}
 	}
 

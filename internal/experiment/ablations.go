@@ -37,7 +37,7 @@ func ablationSweep(id, title string, base config.Scenario, variants []variant, o
 			}
 		}
 	}
-	results, err := Run(scs, o.Workers, o.Progress)
+	results, err := RunTimed(scs, o.Workers, o.progress())
 	if err != nil {
 		return nil, err
 	}

@@ -90,7 +90,7 @@ func runSweep(base config.Scenario, sw sweep, o Options) ([]report.Panel, error)
 			}
 		}
 	}
-	results, err := Run(scs, o.Workers, o.Progress)
+	results, err := RunTimed(scs, o.Workers, o.progress())
 	if err != nil {
 		return nil, err
 	}

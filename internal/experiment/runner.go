@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdsrp/internal/config"
 	"sdsrp/internal/world"
@@ -36,6 +37,23 @@ type Options struct {
 	Policies []string
 	// Progress, when set, receives (done, total) after each finished run.
 	Progress func(done, total int)
+	// ProgressStats, when set, receives the richer ProgressInfo payload
+	// (wall-clock elapsed, ETA, per-run timing) after each finished run.
+	// Both callbacks may fire concurrently from worker goroutines.
+	ProgressStats func(ProgressInfo)
+}
+
+// ProgressInfo describes batch progress after one run finished.
+type ProgressInfo struct {
+	Done, Total int
+	// Elapsed is the wall-clock time since the batch started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the mean pace so
+	// far (0 when done).
+	ETA time.Duration
+	// LastRunWall is the wall-clock duration of the run that just
+	// finished (build + simulate).
+	LastRunWall time.Duration
 }
 
 // PaperPolicies are the four buffer-management strategies of Section IV-A,
@@ -56,6 +74,22 @@ func (o Options) withDefaults() Options {
 		o.Policies = PaperPolicies
 	}
 	return o
+}
+
+// progress merges the two progress callbacks into one ProgressInfo consumer
+// (nil when neither is set, preserving the no-callback fast path).
+func (o Options) progress() func(ProgressInfo) {
+	if o.Progress == nil && o.ProgressStats == nil {
+		return nil
+	}
+	return func(p ProgressInfo) {
+		if o.Progress != nil {
+			o.Progress(p.Done, p.Total)
+		}
+		if o.ProgressStats != nil {
+			o.ProgressStats(p)
+		}
+	}
 }
 
 // apply rescales a preset scenario per the options.
@@ -97,11 +131,24 @@ func shrinkArea(sc *config.Scenario, ratio float64) {
 // Run executes every scenario on a worker pool and returns results in input
 // order. The first build error aborts the batch.
 func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]world.Result, error) {
+	var cb func(ProgressInfo)
+	if progress != nil {
+		cb = func(p ProgressInfo) { progress(p.Done, p.Total) }
+	}
+	return RunTimed(scs, workers, cb)
+}
+
+// RunTimed is Run with wall-clock accounting: after each finished run the
+// callback receives done/total plus elapsed time, a mean-pace ETA, and the
+// duration of the run that just completed. The callback may fire
+// concurrently from worker goroutines.
+func RunTimed(scs []config.Scenario, workers int, progress func(ProgressInfo)) ([]world.Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	results := make([]world.Result, len(scs))
 	errs := make([]error, len(scs))
+	batchStart := time.Now()
 	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -113,6 +160,7 @@ func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]
 				if i >= len(scs) {
 					return
 				}
+				runStart := time.Now()
 				wld, err := world.Build(scs[i])
 				if err != nil {
 					errs[i] = err
@@ -120,7 +168,19 @@ func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]
 					results[i] = wld.Run()
 				}
 				if progress != nil {
-					progress(int(done.Add(1)), len(scs))
+					d := int(done.Add(1))
+					elapsed := time.Since(batchStart)
+					var eta time.Duration
+					if left := len(scs) - d; left > 0 {
+						eta = elapsed / time.Duration(d) * time.Duration(left)
+					}
+					progress(ProgressInfo{
+						Done:        d,
+						Total:       len(scs),
+						Elapsed:     elapsed,
+						ETA:         eta,
+						LastRunWall: time.Since(runStart),
+					})
 				}
 			}
 		}()

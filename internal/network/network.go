@@ -29,6 +29,7 @@ import (
 	"sdsrp/internal/geo"
 	"sdsrp/internal/mobility"
 	"sdsrp/internal/msg"
+	"sdsrp/internal/obs"
 	"sdsrp/internal/routing"
 	"sdsrp/internal/sim"
 	"sdsrp/internal/stats"
@@ -49,6 +50,8 @@ type Config struct {
 	// RecordContacts keeps a log of finished contacts (a, b, start, end)
 	// retrievable from ContactLog — exportable as a replayable trace.
 	RecordContacts bool
+	// Tracer receives contact and transfer events; nil disables tracing.
+	Tracer obs.Tracer
 }
 
 // pairKey identifies an unordered host pair, low id first.
@@ -97,6 +100,7 @@ type Manager struct {
 
 	collector *stats.Collector
 	inter     *stats.Intermeeting // may be nil
+	tracer    obs.Tracer          // may be nil
 	lastEnd   map[pairKey]float64
 
 	positions  []geo.Point
@@ -140,6 +144,7 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 		busy:      make([]bool, n),
 		collector: collector,
 		inter:     inter,
+		tracer:    cfg.Tracer,
 		lastEnd:   make(map[pairKey]float64),
 		positions: make([]geo.Point, n),
 		energy:    newEnergyState(cfg.Energy, n),
@@ -260,6 +265,9 @@ func (m *Manager) linkUp(k pairKey, now float64) {
 	m.neighbors[k[0]][int(k[1])] = l
 	m.neighbors[k[1]][int(k[0])] = l
 	m.contacts++
+	if m.tracer != nil {
+		m.tracer.Emit(obs.Event{T: now, Type: obs.ContactUp, Node: int(k[0]), Peer: int(k[1])})
+	}
 
 	if m.inter != nil {
 		if end, ok := m.lastEnd[k]; ok {
@@ -287,6 +295,9 @@ func (m *Manager) linkDown(k pairKey, now float64, freed []int) []int {
 	delete(m.neighbors[k[0]], int(k[1]))
 	delete(m.neighbors[k[1]], int(k[0]))
 	m.lastEnd[k] = now
+	if m.tracer != nil {
+		m.tracer.Emit(obs.Event{T: now, Type: obs.ContactDown, Node: int(k[0]), Peer: int(k[1])})
+	}
 
 	l.a.OnLinkDown(l.b, now)
 	l.b.OnLinkDown(l.a, now)
@@ -298,6 +309,10 @@ func (m *Manager) linkDown(k pairKey, now float64, freed []int) []int {
 		m.busy[t.receiver.ID()] = false
 		m.chargeTransfer(t, now-t.startedAt, now)
 		m.collector.TransferAborted()
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{T: now, Type: obs.TransferAbort, Msg: t.offer.S.M.ID,
+				Node: t.sender.ID(), Peer: t.receiver.ID()})
+		}
 		// The endpoints are free again; they may have other live links.
 		freed = append(freed, t.sender.ID(), t.receiver.ID())
 	}
@@ -353,6 +368,10 @@ func (m *Manager) startDirection(l *link, dir int, now float64) bool {
 		if !receiver.PreAccept(offer, now) {
 			refused[offer.S.M.ID] = true
 			m.collector.TransferRefused()
+			if m.tracer != nil {
+				m.tracer.Emit(obs.Event{T: now, Type: obs.MessageRefused, Msg: offer.S.M.ID,
+					Node: sender.ID(), Peer: receiver.ID()})
+			}
 			continue
 		}
 		t := &transfer{link: l, sender: sender, receiver: receiver, offer: offer, startedAt: now}
@@ -363,6 +382,11 @@ func (m *Manager) startDirection(l *link, dir int, now float64) bool {
 		m.busy[sender.ID()] = true
 		m.busy[receiver.ID()] = true
 		m.collector.TransferStarted()
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{T: now, Type: obs.TransferStart, Msg: offer.S.M.ID,
+				Node: sender.ID(), Peer: receiver.ID(), Size: offer.S.M.Size,
+				Kind: offer.Kind.String()})
+		}
 		return true
 	}
 }
@@ -378,10 +402,18 @@ func (m *Manager) complete(t *transfer, now float64) {
 	case t.offer.S.M.Expired(now):
 		// Died in flight; receiver discards.
 		m.collector.TransferAborted()
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{T: now, Type: obs.TransferAbort, Msg: id,
+				Node: t.sender.ID(), Peer: t.receiver.ID()})
+		}
 	case !t.sender.Buffer().Has(id):
 		// The sender's copy vanished mid-flight (evicted by a message it
 		// originated, or expired and swept).
 		m.collector.TransferAborted()
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{T: now, Type: obs.TransferAbort, Msg: id,
+				Node: t.sender.ID(), Peer: t.receiver.ID()})
+		}
 	default:
 		if !routing.CommitTransfer(t.sender, t.receiver, t.offer, now) {
 			// Receiver-side late refusal; don't re-offer this contact.

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log2-bucketed distribution of non-negative values: cheap
+// to feed from a hot path, good enough for order-of-magnitude quantiles of
+// transfer sizes and latencies.
+type Histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+	buckets  [65]uint64 // bucket i holds values v with bits.Len64(v) == i
+}
+
+// Observe records v. Negative values clamp to 0.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v float64) int {
+	if v >= math.MaxUint64 {
+		return 64
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]):
+// the upper edge of the bucket containing the q-th observation. Resolution
+// is a factor of two — sufficient for perf triage, not for paper metrics.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := math.Ldexp(1, i) - 1 // max value with bit length i
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Metrics folds events into a counters/histogram registry: per-type event
+// counts, per-host policy-drop counts, transfer-size and delivery-latency
+// distributions. It implements Tracer and can run beside a JSONL sink via
+// Multi.
+type Metrics struct {
+	counts [numTypes]uint64
+	drops  map[int]uint64
+
+	// TransferBytes observes the payload size of every started transfer.
+	TransferBytes Histogram
+	// Latency observes the creation-to-delivery delay of every delivery.
+	Latency Histogram
+	// EvictPriority observes the drop score of every policy eviction.
+	EvictPriority Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{drops: make(map[int]uint64)}
+}
+
+// Emit implements Tracer.
+func (m *Metrics) Emit(ev Event) {
+	if int(ev.Type) < numTypes {
+		m.counts[ev.Type]++
+	}
+	switch ev.Type {
+	case MessageDropped:
+		m.drops[ev.Node]++
+		m.EvictPriority.Observe(ev.Priority)
+	case TransferStart:
+		m.TransferBytes.Observe(float64(ev.Size))
+	case MessageDelivered:
+		m.Latency.Observe(ev.Latency)
+	}
+}
+
+// Count returns how many events of type t were seen.
+func (m *Metrics) Count(t Type) uint64 {
+	if int(t) >= numTypes {
+		return 0
+	}
+	return m.counts[t]
+}
+
+// DropsAt returns the policy-drop count at one host.
+func (m *Metrics) DropsAt(node int) uint64 { return m.drops[node] }
+
+// DropsByNode returns (node, drops) pairs sorted by node id.
+func (m *Metrics) DropsByNode() []NodeCount {
+	out := make([]NodeCount, 0, len(m.drops))
+	for n, c := range m.drops {
+		out = append(out, NodeCount{Node: n, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// NodeCount is one per-host counter sample.
+type NodeCount struct {
+	Node  int
+	Count uint64
+}
+
+// String summarizes the registry on one line.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	for t := 0; t < numTypes; t++ {
+		if m.counts[t] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", Type(t), m.counts[t])
+	}
+	if b.Len() == 0 {
+		return "no events"
+	}
+	return b.String()
+}
+
+// RunStats is the engine-level performance digest of one run: how much work
+// the simulator did and how fast the hardware chewed through it.
+type RunStats struct {
+	// SimSeconds is the simulated horizon reached.
+	SimSeconds float64
+	// Events counts dispatched (non-canceled) engine events.
+	Events uint64
+	// PeakQueue is the maximum pending-event queue depth observed.
+	PeakQueue int
+	// WallSeconds is the real time spent inside the engine run loop.
+	WallSeconds float64
+}
+
+// EventsPerSec returns the dispatch throughput (0 when no wall time was
+// recorded).
+func (r RunStats) EventsPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.WallSeconds
+}
+
+// String formats the digest as the dtnsim perf summary line.
+func (r RunStats) String() string {
+	return fmt.Sprintf("events=%d events/sec=%.0f peak-queue=%d wall=%.3fs sim=%.0fs",
+		r.Events, r.EventsPerSec(), r.PeakQueue, r.WallSeconds, r.SimSeconds)
+}

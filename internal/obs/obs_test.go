@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAppendJSONPerType(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{T: 1.5, Type: MessageCreated, Msg: 7, Node: 2, Peer: 9, Size: 25000, Copies: 32},
+			`{"t":1.5,"type":"created","msg":7,"node":2,"peer":9,"size":25000,"copies":32}`},
+		{Event{T: 10, Type: MessageForwarded, Msg: 7, Node: 2, Peer: 3, Copies: 16, Kind: "spray"},
+			`{"t":10,"type":"forwarded","msg":7,"node":2,"peer":3,"copies":16,"kind":"spray"}`},
+		{Event{T: 20.25, Type: MessageDelivered, Msg: 7, Node: 3, Peer: 9, Hops: 2, Latency: 18.75},
+			`{"t":20.25,"type":"delivered","msg":7,"node":3,"peer":9,"hops":2,"latency":18.75}`},
+		{Event{T: 30, Type: MessageDropped, Msg: 7, Node: 0, Priority: 0.125},
+			`{"t":30,"type":"dropped","msg":7,"node":0,"priority":0.125}`},
+		{Event{T: 40, Type: MessageExpired, Msg: 7, Node: 5},
+			`{"t":40,"type":"expired","msg":7,"node":5}`},
+		{Event{T: 50, Type: MessageRefused, Msg: 7, Node: 1, Peer: 2},
+			`{"t":50,"type":"refused","msg":7,"node":1,"peer":2}`},
+		{Event{T: 60, Type: ContactUp, Node: 0, Peer: 4},
+			`{"t":60,"type":"contact_up","node":0,"peer":4}`},
+		{Event{T: 70, Type: ContactDown, Node: 0, Peer: 4},
+			`{"t":70,"type":"contact_down","node":0,"peer":4}`},
+		{Event{T: 80, Type: TransferStart, Msg: 7, Node: 1, Peer: 2, Size: 25000, Kind: "delivery"},
+			`{"t":80,"type":"transfer_start","msg":7,"node":1,"peer":2,"size":25000,"kind":"delivery"}`},
+		{Event{T: 90, Type: TransferAbort, Msg: 7, Node: 1, Peer: 2},
+			`{"t":90,"type":"transfer_abort","msg":7,"node":1,"peer":2}`},
+	}
+	for _, c := range cases {
+		got := string(c.ev.AppendJSON(nil))
+		if got != c.want {
+			t.Errorf("%v:\n got %s\nwant %s", c.ev.Type, got, c.want)
+		}
+		// Every line must also be valid JSON.
+		var m map[string]any
+		if err := json.Unmarshal([]byte(got), &m); err != nil {
+			t.Errorf("%v: invalid JSON %q: %v", c.ev.Type, got, err)
+		}
+	}
+}
+
+func TestJSONLWritesLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Event{T: 1, Type: ContactUp, Node: 0, Peer: 1})
+	j.Emit(Event{T: 2, Type: ContactDown, Node: 0, Peer: 1})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{T: float64(i), Type: ContactUp})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	evs := r.Events()
+	for i, want := range []float64{2, 3, 4} {
+		if evs[i].T != want {
+			t.Errorf("event %d at t=%v, want %v", i, evs[i].T, want)
+		}
+	}
+}
+
+func TestMultiFiltersNils(t *testing.T) {
+	if tr := Multi(nil, nil); tr != nil {
+		t.Fatalf("Multi(nil, nil) = %v, want nil", tr)
+	}
+	r := NewRing(4)
+	if tr := Multi(nil, r); tr != Tracer(r) {
+		t.Fatalf("Multi with one live sink should return it directly")
+	}
+	r2 := NewRing(4)
+	tr := Multi(r, r2)
+	tr.Emit(Event{T: 1, Type: ContactUp})
+	if r.Len() != 1 || r2.Len() != 1 {
+		t.Fatalf("fan-out failed: %d, %d", r.Len(), r2.Len())
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(Event{Type: MessageDropped, Node: 3, Priority: 2})
+	m.Emit(Event{Type: MessageDropped, Node: 3, Priority: 4})
+	m.Emit(Event{Type: MessageDropped, Node: 1, Priority: 6})
+	m.Emit(Event{Type: TransferStart, Size: 1 << 10})
+	m.Emit(Event{Type: MessageDelivered, Latency: 120})
+
+	if got := m.Count(MessageDropped); got != 3 {
+		t.Errorf("Count(dropped) = %d, want 3", got)
+	}
+	if got := m.DropsAt(3); got != 2 {
+		t.Errorf("DropsAt(3) = %d, want 2", got)
+	}
+	byNode := m.DropsByNode()
+	if len(byNode) != 2 || byNode[0].Node != 1 || byNode[1].Node != 3 {
+		t.Errorf("DropsByNode = %v", byNode)
+	}
+	if m.TransferBytes.Count() != 1 || m.TransferBytes.Mean() != 1024 {
+		t.Errorf("TransferBytes = %v/%v", m.TransferBytes.Count(), m.TransferBytes.Mean())
+	}
+	if m.Latency.Mean() != 120 {
+		t.Errorf("Latency mean = %v", m.Latency.Mean())
+	}
+	if m.EvictPriority.Mean() != 4 {
+		t.Errorf("EvictPriority mean = %v", m.EvictPriority.Mean())
+	}
+	if s := m.String(); !strings.Contains(s, "dropped=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("count/min/max = %v/%v/%v", h.Count(), h.Min(), h.Max())
+	}
+	med := h.Quantile(0.5)
+	// Log2 buckets: the median (50) lands in bucket [32,63].
+	if med < 50 || med > 63 {
+		t.Errorf("median estimate %v outside [50,63]", med)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("q100 = %v, want clamped max 100", q)
+	}
+}
+
+func TestRunStatsString(t *testing.T) {
+	r := RunStats{SimSeconds: 18000, Events: 100000, PeakQueue: 42, WallSeconds: 2}
+	if r.EventsPerSec() != 50000 {
+		t.Errorf("EventsPerSec = %v", r.EventsPerSec())
+	}
+	s := r.String()
+	for _, want := range []string{"events=100000", "events/sec=50000", "peak-queue=42", "sim=18000s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if (RunStats{}).EventsPerSec() != 0 {
+		t.Error("zero wall should give 0 events/sec")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sdsrp/internal/buffer"
 	"sdsrp/internal/core"
 	"sdsrp/internal/msg"
+	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
 	"sdsrp/internal/stats"
 )
@@ -59,6 +60,9 @@ type HostConfig struct {
 	Tracker *Tracker
 	// Oracle backs TrueSeen/TrueLive; may be nil (falls back to estimates).
 	Oracle Oracle
+	// Tracer receives structured lifecycle events; nil disables tracing at
+	// zero cost.
+	Tracer obs.Tracer
 }
 
 // Host is one DTN node's full protocol state.
@@ -80,6 +84,7 @@ type Host struct {
 	collector *stats.Collector
 	tracker   *Tracker
 	oracle    Oracle
+	tracer    obs.Tracer
 
 	// received marks messages this host has consumed as their destination.
 	received map[msg.ID]bool
@@ -107,6 +112,7 @@ func NewHost(cfg HostConfig) *Host {
 		collector:   cfg.Collector,
 		tracker:     cfg.Tracker,
 		oracle:      cfg.Oracle,
+		tracer:      cfg.Tracer,
 		received:    make(map[msg.ID]bool),
 		lastContact: make(map[int]float64),
 	}
@@ -124,6 +130,18 @@ func NewHost(cfg HostConfig) *Host {
 
 // ID returns the node id.
 func (h *Host) ID() int { return h.id }
+
+// Tracer returns the host's event sink (nil when tracing is off).
+func (h *Host) Tracer() obs.Tracer { return h.tracer }
+
+// emit forwards ev to the tracer. The nil check is the entire disabled
+// path: callers build the Event inline in the argument, so a nil tracer
+// costs one branch and zero allocations.
+func (h *Host) emit(ev obs.Event) {
+	if h.tracer != nil {
+		h.tracer.Emit(ev)
+	}
+}
 
 // Buffer exposes the host's store (read-mostly; mutate only through host
 // methods).
@@ -246,9 +264,17 @@ func (h *Host) Originate(m *msg.Message, now float64) bool {
 	if h.tracker != nil {
 		h.tracker.NoteCreated(m.ID, m.Source)
 	}
+	if h.tracer != nil {
+		h.tracer.Emit(obs.Event{T: now, Type: obs.MessageCreated, Msg: m.ID,
+			Node: m.Source, Peer: m.Dest, Size: m.Size, Copies: m.InitialCopies})
+	}
 	s := msg.NewSourceCopy(m)
 	victims, ok := policy.PlanEviction(h.pol, h, h.buf, s)
 	if !ok {
+		if h.tracer != nil {
+			h.tracer.Emit(obs.Event{T: now, Type: obs.MessageDropped, Msg: m.ID,
+				Node: h.id, Priority: h.pol.DropScore(h, s)})
+		}
 		h.collector.Dropped()
 		return false
 	}
@@ -270,6 +296,10 @@ func (h *Host) Originate(m *msg.Message, now float64) bool {
 func (h *Host) DropMessage(s *msg.Stored, now float64) {
 	if h.buf.Remove(s.M.ID) == nil {
 		return
+	}
+	if h.tracer != nil {
+		h.tracer.Emit(obs.Event{T: now, Type: obs.MessageDropped, Msg: s.M.ID,
+			Node: h.id, Priority: h.pol.DropScore(h, s)})
 	}
 	if h.drops != nil {
 		h.drops.RecordDrop(s.M.ID, now)
@@ -308,6 +338,9 @@ func (h *Host) ExpireMessages(now float64) int {
 	dead := h.buf.Expired(now, nil)
 	for _, s := range dead {
 		h.buf.Remove(s.M.ID)
+		if h.tracer != nil {
+			h.tracer.Emit(obs.Event{T: now, Type: obs.MessageExpired, Msg: s.M.ID, Node: h.id})
+		}
 		if h.tracker != nil {
 			h.tracker.NoteRemoved(s.M.ID, h.id)
 		}

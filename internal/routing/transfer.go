@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdsrp/internal/msg"
+	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
 )
 
@@ -103,6 +104,8 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 	if o.Kind == KindDelivery {
 		if receiver.received[id] {
 			// A second copy arrived through another path mid-transfer.
+			sender.emit(obs.Event{T: now, Type: obs.MessageRefused, Msg: id,
+				Node: sender.id, Peer: receiver.id})
 			c.TransferRefused()
 			return false
 		}
@@ -112,6 +115,9 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 		}
 		c.TransferCompleted()
 		c.Delivered(id, now, o.S.M.Created, o.S.Hops+1)
+		sender.emit(obs.Event{T: now, Type: obs.MessageDelivered, Msg: id,
+			Node: sender.id, Peer: receiver.id, Hops: o.S.Hops + 1,
+			Latency: now - o.S.M.Created})
 		// The delivering node knows the destination is served: its copy is
 		// useless now.
 		if sender.buf.Remove(id) != nil && sender.tracker != nil {
@@ -128,6 +134,8 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 	// transfer without touching the sender's tokens (header-level dedup).
 	if receiver.buf.Has(id) || receiver.received[id] ||
 		(receiver.drops != nil && receiver.drops.RejectsIncoming(id)) {
+		sender.emit(obs.Event{T: now, Type: obs.MessageRefused, Msg: id,
+			Node: sender.id, Peer: receiver.id})
 		c.TransferRefused()
 		return false
 	}
@@ -156,12 +164,20 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 	}
 	o.S.Forwarded++
 	c.TransferCompleted()
+	sender.emit(obs.Event{T: now, Type: obs.MessageForwarded, Msg: id,
+		Node: sender.id, Peer: receiver.id, Copies: incoming.Copies,
+		Kind: o.Kind.String()})
 
 	victims, ok := policy.PlanEviction(receiver.pol, receiver, receiver.buf, incoming)
 	if !ok {
 		// The newcomer is the weakest: dropped on arrival. It enters the
 		// receiver's dropped list (enabling SDSRP's future pre-rejection)
 		// and counts as a policy drop.
+		if receiver.tracer != nil {
+			receiver.tracer.Emit(obs.Event{T: now, Type: obs.MessageDropped,
+				Msg: id, Node: receiver.id,
+				Priority: receiver.pol.DropScore(receiver, incoming)})
+		}
 		if receiver.drops != nil {
 			receiver.drops.RecordDrop(id, now)
 		}

@@ -1,0 +1,26 @@
+package sim
+
+import "testing"
+
+// TestPeakQueueAndWall checks the engine's perf counters: peak queue depth
+// reflects the deepest simultaneous backlog, and Run accumulates wall time.
+func TestPeakQueueAndWall(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i+1), func(float64) {})
+	}
+	if got := e.PeakQueue(); got != 5 {
+		t.Fatalf("PeakQueue = %d, want 5", got)
+	}
+	e.Run(10)
+	// Draining must not raise the peak.
+	if got := e.PeakQueue(); got != 5 {
+		t.Fatalf("PeakQueue after run = %d, want 5", got)
+	}
+	if e.Wall() <= 0 {
+		t.Fatal("Wall not accumulated")
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}

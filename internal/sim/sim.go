@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"sdsrp/internal/eventq"
 )
@@ -48,6 +49,10 @@ type Engine struct {
 	stopped bool
 	// Processed counts events actually dispatched (excluding canceled).
 	processed uint64
+	// peakQueue is the deepest the pending queue has ever been.
+	peakQueue int
+	// wall accumulates real time spent inside Run.
+	wall time.Duration
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -68,6 +73,12 @@ func (e *Engine) Now() float64 { return e.now }
 // Processed returns the number of events dispatched so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// PeakQueue returns the maximum pending-event queue depth observed.
+func (e *Engine) PeakQueue() int { return e.peakQueue }
+
+// Wall returns the cumulative real time spent inside Run.
+func (e *Engine) Wall() time.Duration { return e.wall }
+
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it is always a logic error in a discrete-event model.
 func (e *Engine) At(t float64, fn Handler) EventID {
@@ -80,6 +91,9 @@ func (e *Engine) At(t float64, fn Handler) EventID {
 	ev := &event{time: t, seq: e.seq, fn: fn}
 	e.seq++
 	e.queue.Push(ev)
+	if n := e.queue.Len(); n > e.peakQueue {
+		e.peakQueue = n
+	}
 	return EventID{ev}
 }
 
@@ -118,6 +132,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // the next event is strictly after horizon. The clock finishes at
 // min(last event time, horizon).
 func (e *Engine) Run(horizon float64) {
+	start := time.Now()
+	defer func() { e.wall += time.Since(start) }()
 	e.stopped = false
 	for {
 		if e.stopped {

@@ -1,0 +1,213 @@
+package world
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/network"
+	"sdsrp/internal/obs"
+	"sdsrp/internal/sim"
+	"sdsrp/internal/stats"
+)
+
+// tinyTracedScenario is a fast deterministic run that still exercises
+// contacts, sprays, deliveries, drops, and expiries.
+func tinyTracedScenario() config.Scenario {
+	sc := config.RandomWaypoint()
+	sc.Nodes = 12
+	sc.Duration = 1800
+	sc.TTL = 600
+	sc.Area.Max.X = 600
+	sc.Area.Max.Y = 600
+	sc.MessageSize = 100 * 1000
+	sc.MessageSizeHi = 0
+	sc.BufferBytes = 300 * 1000 // tight: three messages, forcing policy drops
+	sc.Seed = 7
+	return sc
+}
+
+func runTraced(t *testing.T, sc config.Scenario) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	w, err := Build(sc, WithTracer(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTracedRunDeterministic is the golden-log property: the same seed must
+// produce a byte-identical JSONL event log.
+func TestTracedRunDeterministic(t *testing.T) {
+	sc := tinyTracedScenario()
+	a := runTraced(t, sc)
+	b := runTraced(t, sc)
+	if len(a) == 0 {
+		t.Fatal("traced run produced an empty event log")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different event logs")
+	}
+	sc.Seed = 8
+	c := runTraced(t, sc)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical event logs (suspicious)")
+	}
+}
+
+// TestTracedRunLifecycleConsistency checks the per-message event algebra:
+// every delivered/dropped/expired/forwarded event refers to a message whose
+// created event appeared earlier in the log, timestamps are non-decreasing,
+// and at most one delivery per message exists.
+func TestTracedRunLifecycleConsistency(t *testing.T) {
+	log := runTraced(t, tinyTracedScenario())
+	type line struct {
+		T    float64 `json:"t"`
+		Type string  `json:"type"`
+		Msg  *int    `json:"msg"`
+	}
+	created := map[int]bool{}
+	deliveredAt := map[int]int{}
+	var prevT float64
+	var n, fates int
+	for _, raw := range strings.Split(strings.TrimSuffix(string(log), "\n"), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", raw, err)
+		}
+		if l.T < prevT {
+			t.Fatalf("time went backwards: %v after %v in %q", l.T, prevT, raw)
+		}
+		prevT = l.T
+		n++
+		switch l.Type {
+		case "created":
+			created[*l.Msg] = true
+		case "delivered", "dropped", "expired", "forwarded", "transfer_start", "transfer_abort", "refused":
+			if l.Msg == nil {
+				t.Fatalf("%s event without msg: %q", l.Type, raw)
+			}
+			if !created[*l.Msg] {
+				t.Fatalf("%s for message %d before its created event", l.Type, *l.Msg)
+			}
+			if l.Type == "delivered" {
+				deliveredAt[*l.Msg]++
+				if deliveredAt[*l.Msg] > 1 {
+					t.Fatalf("message %d delivered twice", *l.Msg)
+				}
+			}
+			if l.Type == "delivered" || l.Type == "dropped" || l.Type == "expired" {
+				fates++
+			}
+		case "contact_up", "contact_down":
+			// contact events are not message-scoped
+		default:
+			t.Fatalf("unknown event type %q", l.Type)
+		}
+	}
+	if len(created) == 0 || fates == 0 {
+		t.Fatalf("degenerate log: %d events, %d created, %d fates", n, len(created), fates)
+	}
+}
+
+// TestTracedRunMatchesCollector cross-checks the metrics sink against the
+// stats collector: both observe the same run, so headline counters must
+// agree.
+func TestTracedRunMatchesCollector(t *testing.T) {
+	sc := tinyTracedScenario()
+	metrics := obs.NewMetrics()
+	w, err := Build(sc, WithTracer(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if got, want := int(metrics.Count(obs.MessageCreated)), res.Created; got != want {
+		t.Errorf("created: tracer %d, collector %d", got, want)
+	}
+	if got, want := int(metrics.Count(obs.MessageDelivered)), res.Delivered; got != want {
+		t.Errorf("delivered: tracer %d, collector %d", got, want)
+	}
+	if got, want := int(metrics.Count(obs.MessageForwarded))+int(metrics.Count(obs.MessageDelivered)), res.Forwards; got != want {
+		t.Errorf("forwards: tracer %d, collector %d", got, want)
+	}
+	if got, want := int(metrics.Count(obs.MessageDropped)), res.PolicyDrops; got != want {
+		t.Errorf("drops: tracer %d, collector %d", got, want)
+	}
+	if got, want := int(metrics.Count(obs.MessageExpired)), res.ExpiredDrops; got != want {
+		t.Errorf("expired: tracer %d, collector %d", got, want)
+	}
+	if got, want := int(metrics.Count(obs.TransferStart)), res.Started; got != want {
+		t.Errorf("starts: tracer %d, collector %d", got, want)
+	}
+	if got, want := int(metrics.Count(obs.ContactUp)), res.Contacts; got != want {
+		t.Errorf("contacts: tracer %d, collector %d", got, want)
+	}
+	if res.Delivered > 0 && metrics.Latency.Count() == 0 {
+		t.Error("latency histogram empty despite deliveries")
+	}
+}
+
+// TestRunStatsPopulated checks the engine perf digest lands in the result.
+func TestRunStatsPopulated(t *testing.T) {
+	sc := tinyTracedScenario()
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	p := res.Perf
+	if p.Events == 0 {
+		t.Error("no events counted")
+	}
+	if p.PeakQueue <= 0 {
+		t.Error("peak queue not tracked")
+	}
+	if p.WallSeconds <= 0 {
+		t.Error("wall clock not tracked")
+	}
+	if p.SimSeconds != sc.Duration {
+		t.Errorf("sim seconds %v, want %v", p.SimSeconds, sc.Duration)
+	}
+	if p.EventsPerSec() <= 0 {
+		t.Error("events/sec not derivable")
+	}
+}
+
+// TestTimelineZeroHostsAndZeroCapacity guards the mean-fill computation
+// against division by zero: no hosts, or hosts reporting zero capacity,
+// must yield BufferFill 0, not NaN.
+func TestTimelineZeroHostsAndZeroCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	collector := stats.NewCollector()
+	mgr := network.NewManager(eng, network.Config{
+		Area: config.RandomWaypoint().Area, Range: 10, Bandwidth: 1, ScanInterval: 1e9,
+	}, nil, nil, collector, nil)
+	w := &World{Engine: eng, Manager: mgr, Collector: collector,
+		Scenario: config.Scenario{Duration: 10}}
+	w.EnableTimeline(2)
+	eng.Run(10)
+	pts := w.Timeline()
+	if len(pts) == 0 {
+		t.Fatal("no timeline points")
+	}
+	for _, p := range pts {
+		if p.BufferFill != p.BufferFill || p.BufferFill != 0 { // NaN check + zero
+			t.Fatalf("BufferFill = %v, want 0 for host-less world", p.BufferFill)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteTimelineCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv.String(), "NaN") {
+		t.Fatal("timeline CSV contains NaN")
+	}
+}

@@ -31,9 +31,19 @@ func (w *World) EnableTimeline(interval float64) {
 	}
 	w.Engine.Every(interval, func(now float64) {
 		s := w.Collector.Summarize()
+		// Mean fill over hosts with a real byte budget; zero-capacity
+		// buffers (and host-less scenarios) would otherwise inject NaN
+		// into the CSV.
 		var fill float64
+		counted := 0
 		for _, h := range w.Hosts {
-			fill += float64(h.Buffer().Used()) / float64(h.Buffer().Capacity())
+			if capacity := h.Buffer().Capacity(); capacity > 0 {
+				fill += float64(h.Buffer().Used()) / float64(capacity)
+				counted++
+			}
+		}
+		if counted > 0 {
+			fill /= float64(counted)
 		}
 		w.timeline = append(w.timeline, TimelinePoint{
 			T:             now,
@@ -43,7 +53,7 @@ func (w *World) EnableTimeline(interval float64) {
 			Forwards:      s.Forwards,
 			PolicyDrops:   s.PolicyDrops,
 			ActiveLinks:   w.Manager.ActiveLinks(),
-			BufferFill:    fill / float64(len(w.Hosts)),
+			BufferFill:    fill,
 		})
 	})
 }

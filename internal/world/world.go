@@ -14,6 +14,7 @@ import (
 	"sdsrp/internal/mobility"
 	"sdsrp/internal/msg"
 	"sdsrp/internal/network"
+	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
 	"sdsrp/internal/rng"
 	"sdsrp/internal/routing"
@@ -33,9 +34,24 @@ type World struct {
 	Tracker      *routing.Tracker
 
 	started   bool
+	tracer    obs.Tracer // nil when tracing is off
 	timeline  []TimelinePoint
 	msgLog    []msgRecord
 	scheduled []network.Contact // non-nil for contact-trace-driven runs
+}
+
+// BuildOption customizes world assembly beyond what a config.Scenario
+// (a serializable artifact) can describe — runtime wiring like tracers.
+type BuildOption func(*buildOptions)
+
+type buildOptions struct {
+	tracer obs.Tracer
+}
+
+// WithTracer routes every lifecycle event of the run (message, contact,
+// transfer, eviction) to tr. A nil tr keeps tracing disabled.
+func WithTracer(tr obs.Tracer) BuildOption {
+	return func(o *buildOptions) { o.tracer = tr }
 }
 
 // msgRecord remembers each generated message for fate reporting.
@@ -60,11 +76,18 @@ type Result struct {
 	MeanIntermeeting float64
 	ExpFitError      float64
 	IntermeetingN    int
+	// Perf is the engine-level performance digest (events dispatched,
+	// events/sec, peak queue depth, wall-clock).
+	Perf obs.RunStats
 }
 
 // Build validates the scenario and assembles a world. It does not start the
 // clock; call Run.
-func Build(sc config.Scenario) (*World, error) {
+func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
+	var bo buildOptions
+	for _, o := range opts {
+		o(&bo)
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("world: invalid scenario %q: %w", sc.Name, err)
 	}
@@ -128,6 +151,7 @@ func Build(sc config.Scenario) (*World, error) {
 			Collector:         collector,
 			Tracker:           tracker,
 			Oracle:            tracker,
+			Tracer:            bo.tracer,
 		})
 	}
 
@@ -142,6 +166,7 @@ func Build(sc config.Scenario) (*World, error) {
 		ScanInterval:   sc.ScanInterval,
 		Ranges:         ranges,
 		RecordContacts: sc.RecordContacts,
+		Tracer:         bo.tracer,
 		Energy: network.EnergyConfig{
 			Capacity:   sc.Energy.Capacity,
 			ScanPerSec: sc.Energy.ScanPerSec,
@@ -152,6 +177,7 @@ func Build(sc config.Scenario) (*World, error) {
 
 	w := &World{
 		scheduled:    scheduled,
+		tracer:       bo.tracer,
 		Scenario:     sc,
 		Engine:       eng,
 		Hosts:        hosts,
@@ -441,6 +467,16 @@ func (w *World) Run() Result {
 	return w.Result()
 }
 
+// RunStats returns the engine-level performance digest of the run so far.
+func (w *World) RunStats() obs.RunStats {
+	return obs.RunStats{
+		SimSeconds:  w.Engine.Now(),
+		Events:      w.Engine.Processed(),
+		PeakQueue:   w.Engine.PeakQueue(),
+		WallSeconds: w.Engine.Wall().Seconds(),
+	}
+}
+
 // Result summarizes the run so far (useful mid-run for progress output).
 func (w *World) Result() Result {
 	r := Result{
@@ -449,6 +485,7 @@ func (w *World) Result() Result {
 		Contacts:            w.Manager.Contacts(),
 		MeanContactDuration: w.Manager.ContactDurations().Mean(),
 		Energy:              w.Manager.EnergyReport(),
+		Perf:                w.RunStats(),
 	}
 	if w.Intermeeting != nil {
 		r.MeanIntermeeting = w.Intermeeting.Mean()

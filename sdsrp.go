@@ -28,6 +28,7 @@ import (
 	"sdsrp/internal/config"
 	"sdsrp/internal/experiment"
 	"sdsrp/internal/msg"
+	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
 	"sdsrp/internal/report"
 	"sdsrp/internal/rng"
@@ -54,11 +55,51 @@ type (
 	ExperimentOptions = experiment.Options
 	// ExperimentSpec names one runnable figure/ablation.
 	ExperimentSpec = experiment.Spec
+	// ExperimentProgress is the rich progress payload (elapsed, ETA,
+	// per-run wall-clock) delivered to ExperimentOptions.ProgressStats.
+	ExperimentProgress = experiment.ProgressInfo
 	// Panel is one reproduced sub-figure (table + chart renderable).
 	Panel = report.Panel
 	// Curve is one line on a panel.
 	Curve = report.Curve
 )
+
+// Observability types (see internal/obs).
+type (
+	// Tracer receives structured lifecycle events from an instrumented run.
+	Tracer = obs.Tracer
+	// TraceEvent is one simulation occurrence (message, contact, transfer,
+	// or eviction transition).
+	TraceEvent = obs.Event
+	// TraceEventType classifies a TraceEvent.
+	TraceEventType = obs.Type
+	// TraceMetrics folds events into counters and histograms.
+	TraceMetrics = obs.Metrics
+	// JSONLTracer writes one JSON object per event per line.
+	JSONLTracer = obs.JSONL
+	// RingTracer keeps the most recent events in memory.
+	RingTracer = obs.Ring
+	// RunStats is the engine-level performance digest of one run.
+	RunStats = obs.RunStats
+	// BuildOption customizes Build beyond the scenario (e.g. WithTracer).
+	BuildOption = world.BuildOption
+)
+
+// WithTracer makes Build route every lifecycle event of the run to tr.
+func WithTracer(tr Tracer) BuildOption { return world.WithTracer(tr) }
+
+// NewJSONLTracer returns a sink writing one deterministic JSON object per
+// event per line; call Flush when the run finishes.
+func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewRingTracer returns an in-memory sink keeping the last n events.
+func NewRingTracer(n int) *obs.Ring { return obs.NewRing(n) }
+
+// NewTraceMetrics returns an empty counters/histogram registry sink.
+func NewTraceMetrics() *obs.Metrics { return obs.NewMetrics() }
+
+// MultiTracer fans events out to every non-nil sink (nil when none).
+func MultiTracer(sinks ...Tracer) Tracer { return obs.Multi(sinks...) }
 
 // Policy-extension types.
 type (
@@ -105,8 +146,9 @@ func RandomWaypointScenario() Scenario { return config.RandomWaypoint() }
 // the synthetic San Francisco fleet — see DESIGN.md §4).
 func EPFLScenario() Scenario { return config.EPFL() }
 
-// Build assembles a world without running it.
-func Build(sc Scenario) (*World, error) { return world.Build(sc) }
+// Build assembles a world without running it. Options (e.g. WithTracer)
+// attach runtime wiring the serializable Scenario cannot carry.
+func Build(sc Scenario, opts ...BuildOption) (*World, error) { return world.Build(sc, opts...) }
 
 // Run builds and executes one scenario.
 func Run(sc Scenario) (Result, error) {
