@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz experiments check examples clean
+.PHONY: all build vet test test-short race bench fuzz fuzz-smoke experiments check resilience examples clean
 
 all: build vet test
 
@@ -30,6 +30,13 @@ fuzz:
 	$(GO) test ./internal/trace -fuzz=FuzzParseCab -fuzztime=30s
 	$(GO) test ./internal/trace -fuzz=FuzzParseONE -fuzztime=30s
 
+# CI-sized fuzzing pass: 30 s per fuzzer across every fuzz target.
+fuzz-smoke:
+	$(GO) test ./internal/trace -fuzz=FuzzParseCab -fuzztime=30s
+	$(GO) test ./internal/trace -fuzz=FuzzParseONE -fuzztime=30s
+	$(GO) test ./internal/trace -fuzz=FuzzParseContacts -fuzztime=30s
+	$(GO) test ./internal/config -fuzz=FuzzScenarioJSON -fuzztime=30s
+
 # Regenerate every paper figure + ablations at full scale (~30 min single-core).
 experiments:
 	$(GO) run ./cmd/experiments -run all -seeds 1,2,3 -out results -svg -html results/report.html
@@ -37,6 +44,11 @@ experiments:
 # Machine-verify the paper's qualitative claims at full scale.
 check:
 	$(GO) run ./cmd/experiments -run fig3,fig4,fig8copies,fig8buffer,fig8rate,fig9copies,fig9buffer,fig9rate -check -seeds 1,2,3 -no-chart -quiet
+
+# Quick resilience sweep smoke (fault injection; ~1 min): delivery /
+# overhead / latency vs loss, churn, and black-hole intensity.
+resilience:
+	$(GO) run ./cmd/experiments -run resilience-loss,resilience-churn,resilience-blackhole -scale 0.05 -nodes 24 -out results/resilience -no-chart
 
 examples:
 	$(GO) run ./examples/quickstart

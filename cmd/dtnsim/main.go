@@ -254,6 +254,9 @@ func main() {
 			res.AvgLatency, res.MedianLatency, res.P95Latency)
 		fmt.Printf("transfers       started=%d completed=%d aborted=%d refused=%d\n",
 			res.Started, res.Forwards, res.Aborted, res.Refused)
+		if res.Lost > 0 {
+			fmt.Printf("faults          transfers lost=%d\n", res.Lost)
+		}
 		fmt.Printf("drops           policy=%d expired=%d acked=%d\n",
 			res.PolicyDrops, res.ExpiredDrops, res.AckPurges)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sdsrp/internal/fault"
 	"sdsrp/internal/geo"
 	"sdsrp/internal/mobility"
 )
@@ -145,6 +146,11 @@ type Scenario struct {
 	// measures its effect.
 	UseAcks bool
 
+	// Faults configures the deterministic fault-injection layer (radio
+	// loss, link flapping, bandwidth jitter, node churn, adversarial
+	// roles). The zero value disables it entirely; see internal/fault.
+	Faults fault.Config
+
 	// RecordIntermeeting enables the Fig. 3 sample recorder.
 	RecordIntermeeting bool
 	// RecordContacts logs every finished contact so the run can be exported
@@ -276,6 +282,13 @@ func (s Scenario) Validate() error {
 	}
 	if s.Energy.Capacity < 0 || s.Energy.ScanPerSec < 0 || s.Energy.TxPerSec < 0 || s.Energy.RxPerSec < 0 {
 		add("energy parameters must be non-negative")
+	}
+	groupNames := make([]string, 0, len(s.Groups))
+	for _, g := range s.Groups {
+		groupNames = append(groupNames, g.Name)
+	}
+	if err := s.Faults.Validate(groupNames); err != nil {
+		errs = append(errs, err)
 	}
 	if s.ContactTraceFile != "" {
 		return errors.Join(errs...) // mobility/area are unused

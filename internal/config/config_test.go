@@ -3,6 +3,8 @@ package config
 import (
 	"strings"
 	"testing"
+
+	"sdsrp/internal/fault"
 )
 
 func TestRandomWaypointPresetMatchesTableII(t *testing.T) {
@@ -85,6 +87,11 @@ func TestValidateCatchesProblems(t *testing.T) {
 		"speed":         func(s *Scenario) { s.Mobility.SpeedLo, s.Mobility.SpeedHi = 0, 0 },
 		"mobility kind": func(s *Scenario) { s.Mobility.Kind = "hovercraft" },
 		"trace dir":     func(s *Scenario) { s.Mobility = Mobility{Kind: MobilityTraceDir} },
+		"fault loss":    func(s *Scenario) { s.Faults.TransferLossProb = 1.5 },
+		"fault jitter":  func(s *Scenario) { s.Faults.BandwidthJitterLo, s.Faults.BandwidthJitterHi = 2, 1 },
+		"fault churn":   func(s *Scenario) { s.Faults.Churn.MeanUp = 100 }, // no MeanDown
+		"fault roles":   func(s *Scenario) { s.Faults.BlackHoleFraction, s.Faults.SelfishFraction = 0.7, 0.7 },
+		"churn group":   func(s *Scenario) { s.Faults.Churn = fault.Churn{MeanUp: 10, MeanDown: 10, Groups: []string{"ghost"}} },
 	}
 	for name, mut := range cases {
 		if err := break3(mut); err == nil {

@@ -115,3 +115,11 @@ func (t *DropTable) Forget(id msg.ID) {
 
 // Records returns the number of owner records known (diagnostics).
 func (t *DropTable) Records() int { return len(t.records) }
+
+// Reset discards every record — the node's own and all gossiped copies.
+// Used by the fault layer's crash/reboot churn when a reboot wipes state;
+// peers still hold (and will re-gossip) this node's old record.
+func (t *DropTable) Reset() {
+	t.records = make(map[int]*DropRecord)
+	t.counts = make(map[msg.ID]int)
+}

@@ -284,6 +284,9 @@ func All() []Spec {
 		{"extra-sizes", "extension: heterogeneous payloads with size-aware policies", ExtraSizes},
 		{"extra-energy", "extension: finite batteries (radio economy as survivability)", ExtraEnergy},
 		{"extra-map", "extension: paper policies on street-grid (map-based) mobility", ExtraMap},
+		{"resilience-loss", "resilience: metrics vs per-transfer loss probability", ResilienceLoss},
+		{"resilience-churn", "resilience: metrics vs node crash/reboot churn", ResilienceChurn},
+		{"resilience-blackhole", "resilience: metrics vs black-hole node fraction", ResilienceBlackhole},
 	}
 }
 

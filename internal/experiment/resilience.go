@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/fault"
+	"sdsrp/internal/report"
+)
+
+// resilienceSweep runs the compared policies across a fault-intensity axis
+// (instead of the usual buffer-size axis) and produces the three paper
+// metric panels. setFault installs the fault config for intensity point xi
+// into a scenario whose Duration has already been scaled.
+func resilienceSweep(id, title, xlabel string, x []float64, ticks []string,
+	setFault func(*config.Scenario, int), o Options) ([]report.Panel, error) {
+	o = o.withDefaults()
+	base := o.apply(config.RandomWaypoint())
+
+	type cell struct{ policy, point int }
+	var scs []config.Scenario
+	var cells []cell
+	for pi, pol := range o.Policies {
+		for xi := range x {
+			for _, seed := range o.Seeds {
+				sc := base
+				sc.PolicyName = pol
+				sc.Seed = seed
+				setFault(&sc, xi)
+				sc.Name = fmt.Sprintf("%s-%s-%s-%d", id, pol, ticks[xi], seed)
+				scs = append(scs, sc)
+				cells = append(cells, cell{pi, xi})
+			}
+		}
+	}
+	results, err := RunTimed(scs, o.Workers, o.progress())
+	if err != nil {
+		return nil, err
+	}
+	metrics := paperMetrics()
+	panels := make([]report.Panel, len(metrics))
+	for mi, m := range metrics {
+		panels[mi] = report.Panel{
+			ID:     fmt.Sprintf("%s-%c", id, 'a'+mi),
+			Title:  title + " — " + m.label,
+			XLabel: xlabel,
+			YLabel: m.label,
+			XTicks: ticks,
+			X:      x,
+		}
+		for pi, pol := range o.Policies {
+			y := make([]float64, len(x))
+			for xi := range x {
+				var sum float64
+				n := 0
+				for ci, c := range cells {
+					if c.policy == pi && c.point == xi {
+						sum += m.get(results[ci])
+						n++
+					}
+				}
+				y[xi] = sum / float64(n)
+			}
+			panels[mi].Curves = append(panels[mi].Curves, report.Curve{Label: pol, Y: y})
+		}
+	}
+	return panels, nil
+}
+
+// ResilienceLoss sweeps per-transfer loss probability: transfers complete on
+// the wire (spending contact time and spray tokens) but the payload is
+// discarded at the receiver. Redundancy-heavy policies shrug it off;
+// token-frugal ones pay more per lost copy.
+func ResilienceLoss(o Options) ([]report.Panel, error) {
+	probs := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	ticks := make([]string, len(probs))
+	for i, p := range probs {
+		ticks[i] = fmt.Sprintf("%g", p)
+	}
+	return resilienceSweep("resilience-loss", "transfer loss", "loss probability",
+		probs, ticks, func(sc *config.Scenario, xi int) {
+			sc.Faults.TransferLossProb = probs[xi]
+		}, o)
+}
+
+// ResilienceChurn sweeps node crash/reboot churn with buffer wipe: the
+// x-axis is the expected number of outages per node over the run (mean
+// uptime = Duration/k), each outage lasting 1/40 of the run on average.
+// Wiping reboots destroy queued copies, so buffer-management quality
+// matters more the less redundancy survives.
+func ResilienceChurn(o Options) ([]report.Panel, error) {
+	outages := []float64{0, 1, 2, 4, 8}
+	ticks := make([]string, len(outages))
+	for i, k := range outages {
+		ticks[i] = fmt.Sprintf("%g", k)
+	}
+	return resilienceSweep("resilience-churn", "node churn (wiping reboots)", "expected outages per node",
+		outages, ticks, func(sc *config.Scenario, xi int) {
+			if outages[xi] == 0 {
+				return // no churn at the baseline point
+			}
+			sc.Faults.Churn = fault.Churn{
+				MeanUp:       sc.Duration / outages[xi],
+				MeanDown:     sc.Duration / 40,
+				WipeOnReboot: true,
+			}
+		}, o)
+}
+
+// ResilienceBlackhole sweeps the fraction of nodes that accept every copy
+// and silently discard it: the classic DTN black-hole attack. Senders keep
+// spending spray tokens on attackers, so delivery degrades faster than the
+// removed-node fraction alone would suggest.
+func ResilienceBlackhole(o Options) ([]report.Panel, error) {
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	ticks := make([]string, len(fracs))
+	for i, f := range fracs {
+		ticks[i] = fmt.Sprintf("%g", f)
+	}
+	return resilienceSweep("resilience-blackhole", "black-hole nodes", "black-hole fraction",
+		fracs, ticks, func(sc *config.Scenario, xi int) {
+			sc.Faults.BlackHoleFraction = fracs[xi]
+		}, o)
+}

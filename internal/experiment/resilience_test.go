@@ -1,0 +1,85 @@
+package experiment
+
+import "testing"
+
+func TestResilienceLossSmoke(t *testing.T) {
+	panels, err := ResilienceLoss(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	wantIDs := []string{"resilience-loss-a", "resilience-loss-b", "resilience-loss-c"}
+	for i, p := range panels {
+		if p.ID != wantIDs[i] {
+			t.Fatalf("panel id = %s, want %s", p.ID, wantIDs[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Curves) != 2 || len(p.X) != 5 {
+			t.Fatalf("panel %s: curves=%d points=%d", p.ID, len(p.Curves), len(p.X))
+		}
+	}
+	// Loss can only hurt: the lossless left edge must deliver at least as
+	// well as the 40% right edge for every policy.
+	for _, c := range panels[0].Curves {
+		if c.Y[0] < c.Y[len(c.Y)-1] {
+			t.Errorf("%s: delivery improved under loss: %v", c.Label, c.Y)
+		}
+	}
+}
+
+func TestResilienceChurnSmoke(t *testing.T) {
+	panels, err := ResilienceChurn(Options{Scale: 0.08, Nodes: 24, Policies: []string{"SDSRP"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	p := panels[0]
+	if p.XTicks[0] != "0" || p.XTicks[4] != "8" {
+		t.Fatalf("ticks = %v", p.XTicks)
+	}
+	c := p.Curves[0]
+	if c.Y[0] < c.Y[len(c.Y)-1] {
+		t.Errorf("delivery improved under wiping churn: %v", c.Y)
+	}
+}
+
+func TestResilienceBlackholeSmoke(t *testing.T) {
+	panels, err := ResilienceBlackhole(Options{Scale: 0.08, Nodes: 24, Policies: []string{"SprayAndWait"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range panels {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := panels[0].Curves[0]
+	if c.Y[0] < c.Y[len(c.Y)-1] {
+		t.Errorf("delivery improved with 40%% black holes: %v", c.Y)
+	}
+}
+
+// TestResilienceReproducible is the sweep-level determinism gate: the same
+// options must reproduce byte-identical TSV tables.
+func TestResilienceReproducible(t *testing.T) {
+	o := Options{Scale: 0.05, Nodes: 20, Policies: []string{"SDSRP"}}
+	a, err := ResilienceLoss(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResilienceLoss(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].TSV() != b[i].TSV() {
+			t.Fatalf("panel %s not reproducible:\n%s\nvs\n%s", a[i].ID, a[i].TSV(), b[i].TSV())
+		}
+	}
+}

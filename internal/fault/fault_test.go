@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"testing"
+
+	"sdsrp/internal/rng"
+)
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want bool
+	}{
+		{"zero", Config{}, false},
+		{"loss", Config{TransferLossProb: 0.1}, true},
+		{"flap", Config{LinkFlapMeanUp: 60}, true},
+		{"jitter", Config{BandwidthJitterLo: 0.5, BandwidthJitterHi: 1}, true},
+		{"jitter-pinned", Config{BandwidthJitterLo: 1, BandwidthJitterHi: 1}, true},
+		{"churn", Config{Churn: Churn{MeanUp: 100, MeanDown: 10}}, true},
+		{"blackhole", Config{BlackHoleFraction: 0.2}, true},
+		{"selfish", Config{SelfishFraction: 0.2}, true},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("%s: Enabled() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	groups := []string{"taxis", "buses"}
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative loss", Config{TransferLossProb: -0.1}},
+		{"loss above one", Config{TransferLossProb: 1.5}},
+		{"negative flap", Config{LinkFlapMeanUp: -1}},
+		{"jitter zero lo", Config{BandwidthJitterHi: 2}},
+		{"jitter inverted", Config{BandwidthJitterLo: 2, BandwidthJitterHi: 1}},
+		{"churn negative", Config{Churn: Churn{MeanUp: -5, MeanDown: 1}}},
+		{"churn no down", Config{Churn: Churn{MeanUp: 100}}},
+		{"churn bad group", Config{Churn: Churn{MeanUp: 100, MeanDown: 10, Groups: []string{"trams"}}}},
+		{"churn groups disabled", Config{Churn: Churn{Groups: []string{"taxis"}}}},
+		{"blackhole negative", Config{BlackHoleFraction: -0.1}},
+		{"selfish above one", Config{SelfishFraction: 1.1}},
+		{"fractions sum", Config{BlackHoleFraction: 0.6, SelfishFraction: 0.6}},
+	}
+	for _, c := range bad {
+		if err := c.cfg.Validate(groups); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.cfg)
+		}
+	}
+	good := []Config{
+		{},
+		{TransferLossProb: 1},
+		{BandwidthJitterLo: 1, BandwidthJitterHi: 1},
+		{Churn: Churn{MeanUp: 100, MeanDown: 10, Groups: []string{"taxis", "buses"}}},
+		{BlackHoleFraction: 0.5, SelfishFraction: 0.5},
+		{TransferLossProb: 0.1, LinkFlapMeanUp: 60, BandwidthJitterLo: 0.5,
+			BandwidthJitterHi: 1.5, Churn: Churn{MeanUp: 600, MeanDown: 60}},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(groups); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	// Churn groups on a homogeneous scenario (no declared groups) must fail.
+	cfg := Config{Churn: Churn{MeanUp: 100, MeanDown: 10, Groups: []string{"taxis"}}}
+	if err := cfg.Validate(nil); err == nil {
+		t.Error("churn group accepted against a group-less scenario")
+	}
+}
+
+// TestDisabledConfigYieldsNil pins the zero-cost contract: a disabled config
+// produces a nil injector.
+func TestDisabledConfigYieldsNil(t *testing.T) {
+	if in := New(Config{}, rng.New(1).Split("fault"), 10, nil); in != nil {
+		t.Fatal("disabled config produced a non-nil injector")
+	}
+}
+
+// TestNilInjectorNoAlloc pins the disabled hot path: every nil-receiver
+// method must be branch-only — zero allocations.
+func TestNilInjectorNoAlloc(t *testing.T) {
+	var in *Injector
+	n := testing.AllocsPerRun(1000, func() {
+		if in.LoseTransfer() {
+			t.Fatal("nil injector lost a transfer")
+		}
+		if _, ok := in.FlapAfter(); ok {
+			t.Fatal("nil injector flapped")
+		}
+		if s := in.BandwidthScale(); s != 1 {
+			t.Fatalf("nil injector scaled bandwidth by %v", s)
+		}
+		if in.ChurnEnabled() || in.Churns(0) || in.WipeOnReboot() {
+			t.Fatal("nil injector churns")
+		}
+		if in.Role(0) != RoleHonest {
+			t.Fatal("nil injector assigned a role")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("nil-injector path allocated %v times per run, want 0", n)
+	}
+}
+
+// TestDrawDeterminism: same stream fingerprint, same draw sequence.
+func TestDrawDeterminism(t *testing.T) {
+	cfg := Config{TransferLossProb: 0.3, LinkFlapMeanUp: 60,
+		BandwidthJitterLo: 0.5, BandwidthJitterHi: 1.5,
+		Churn:             Churn{MeanUp: 600, MeanDown: 60},
+		BlackHoleFraction: 0.25, SelfishFraction: 0.25}
+	seq := func() []float64 {
+		in := New(cfg, rng.New(42).Split("fault"), 20, nil)
+		var out []float64
+		for i := 0; i < 50; i++ {
+			if in.LoseTransfer() {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+			d, _ := in.FlapAfter()
+			out = append(out, d, in.BandwidthScale(), in.NextUptime(),
+				in.NextOutage(), float64(in.Role(i%20)))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSubstreamIsolation: enabling or tuning one fault model must not shift
+// another model's draw sequence — the heart of the determinism guarantee.
+func TestSubstreamIsolation(t *testing.T) {
+	lossDraws := func(cfg Config) []bool {
+		in := New(cfg, rng.New(7).Split("fault"), 10, nil)
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = in.LoseTransfer()
+		}
+		return out
+	}
+	base := lossDraws(Config{TransferLossProb: 0.3})
+	withAll := lossDraws(Config{TransferLossProb: 0.3, LinkFlapMeanUp: 60,
+		BandwidthJitterLo: 0.5, BandwidthJitterHi: 1.5,
+		Churn: Churn{MeanUp: 600, MeanDown: 60}, BlackHoleFraction: 0.3})
+	for i := range base {
+		if base[i] != withAll[i] {
+			t.Fatalf("loss draw %d shifted when other models were enabled", i)
+		}
+	}
+	// Interleaving draws from other models must not disturb loss either.
+	in := New(Config{TransferLossProb: 0.3, LinkFlapMeanUp: 60,
+		BandwidthJitterLo: 0.5, BandwidthJitterHi: 1.5},
+		rng.New(7).Split("fault"), 10, nil)
+	for i := range base {
+		in.FlapAfter()
+		in.BandwidthScale()
+		if got := in.LoseTransfer(); got != base[i] {
+			t.Fatalf("loss draw %d shifted under interleaved flap/jitter draws", i)
+		}
+	}
+}
+
+// TestZeroIntensityDrawsNothing: zero-intensity axes must not consume
+// randomness, so their substreams stay untouched.
+func TestZeroIntensityDrawsNothing(t *testing.T) {
+	in := New(Config{BandwidthJitterLo: 1, BandwidthJitterHi: 1},
+		rng.New(3).Split("fault"), 10, nil)
+	if in == nil {
+		t.Fatal("pinned jitter should yield a live injector")
+	}
+	for i := 0; i < 10; i++ {
+		if in.LoseTransfer() {
+			t.Fatal("loss drawn at zero intensity")
+		}
+		if _, ok := in.FlapAfter(); ok {
+			t.Fatal("flap drawn while disabled")
+		}
+		if s := in.BandwidthScale(); s != 1 {
+			t.Fatalf("pinned jitter drew %v, want exactly 1", s)
+		}
+		if in.Role(i) != RoleHonest {
+			t.Fatal("role assigned without adversary fractions")
+		}
+	}
+}
+
+func TestRoleAssignment(t *testing.T) {
+	const n = 40
+	in := New(Config{BlackHoleFraction: 0.25, SelfishFraction: 0.1},
+		rng.New(11).Split("fault"), n, nil)
+	var black, selfish int
+	for i := 0; i < n; i++ {
+		switch in.Role(i) {
+		case RoleBlackHole:
+			black++
+		case RoleSelfish:
+			selfish++
+		}
+	}
+	if black != 10 {
+		t.Errorf("black holes = %d, want 10", black)
+	}
+	if selfish != 4 {
+		t.Errorf("selfish = %d, want 4", selfish)
+	}
+	// Same seed, same placement.
+	in2 := New(Config{BlackHoleFraction: 0.25, SelfishFraction: 0.1},
+		rng.New(11).Split("fault"), n, nil)
+	for i := 0; i < n; i++ {
+		if in.Role(i) != in2.Role(i) {
+			t.Fatalf("role of node %d differs across same-seed injectors", i)
+		}
+	}
+}
+
+func TestChurnable(t *testing.T) {
+	churnable := []bool{true, false, true, false}
+	in := New(Config{Churn: Churn{MeanUp: 100, MeanDown: 10}},
+		rng.New(5).Split("fault"), 4, churnable)
+	for i, want := range churnable {
+		if got := in.Churns(i); got != want {
+			t.Errorf("Churns(%d) = %v, want %v", i, got, want)
+		}
+	}
+	all := New(Config{Churn: Churn{MeanUp: 100, MeanDown: 10}},
+		rng.New(5).Split("fault"), 4, nil)
+	for i := 0; i < 4; i++ {
+		if !all.Churns(i) {
+			t.Errorf("nil churnable: Churns(%d) = false, want true", i)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleHonest.String() != "honest" || RoleBlackHole.String() != "black-hole" ||
+		RoleSelfish.String() != "selfish" || Role(99).String() != "unknown" {
+		t.Error("Role.String mapping broken")
+	}
+}

@@ -32,10 +32,10 @@ func newEnergyRig(n int, energy EnergyConfig) *rig {
 			Oracle:    tracker,
 		}))
 	}
-	r.mgr = NewManager(r.eng, Config{
+	r.mgr = mustManager(NewManager(r.eng, Config{
 		Area: geo.NewRect(50000, 1000), Range: 100, Bandwidth: 100, ScanInterval: 1,
 		Energy: energy,
-	}, r.hosts, models, r.collector, r.inter)
+	}, r.hosts, models, r.collector, r.inter))
 	r.mgr.Start()
 	return r
 }

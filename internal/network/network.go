@@ -23,9 +23,11 @@
 package network
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
+	"sdsrp/internal/fault"
 	"sdsrp/internal/geo"
 	"sdsrp/internal/mobility"
 	"sdsrp/internal/msg"
@@ -52,6 +54,9 @@ type Config struct {
 	RecordContacts bool
 	// Tracer receives contact and transfer events; nil disables tracing.
 	Tracer obs.Tracer
+	// Faults is the run's fault injector; nil disables fault injection at
+	// zero cost (every hot-path probe is a nil-guarded branch).
+	Faults *fault.Injector
 }
 
 // pairKey identifies an unordered host pair, low id first.
@@ -84,6 +89,11 @@ type link struct {
 	// flip alternates which direction gets first pick, for fairness
 	// during long contacts.
 	flip bool
+	// bw is this contact's bandwidth multiplier (1 unless the fault
+	// layer's jitter model drew otherwise).
+	bw float64
+	// flapTimer, when armed, force-drops the link early (fault layer).
+	flapTimer sim.EventID
 }
 
 // Manager owns the links and transfer scheduling for one simulation run.
@@ -111,19 +121,29 @@ type Manager struct {
 	ranges     []float64 // per-node; nil when uniform
 	maxRange   float64
 	contactLog []Contact
+
+	faults *fault.Injector
+	// down marks churn-crashed nodes (nil unless churn is enabled).
+	down []bool
+	// flapped suppresses re-up of pairs whose contact the flap model cut,
+	// until the nodes genuinely separate (nil unless flapping is enabled).
+	flapped map[pairKey]bool
 }
 
-// NewManager wires the radio model. hosts[i] moves along models[i].
+// NewManager wires the radio model. hosts[i] moves along models[i]. It
+// returns an error on inconsistent inputs (mismatched hosts/models or
+// per-node range table) — these come from user-assembled configuration, not
+// programmer invariants.
 func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mobility.Model,
-	collector *stats.Collector, inter *stats.Intermeeting) *Manager {
+	collector *stats.Collector, inter *stats.Intermeeting) (*Manager, error) {
 	if len(hosts) != len(models) {
-		panic("network: hosts/models length mismatch")
+		return nil, fmt.Errorf("network: %d hosts but %d mobility models", len(hosts), len(models))
 	}
 	n := len(hosts)
 	maxRange := cfg.Range
 	if cfg.Ranges != nil {
 		if len(cfg.Ranges) != n {
-			panic("network: Ranges length mismatch")
+			return nil, fmt.Errorf("network: %d per-node ranges for %d hosts", len(cfg.Ranges), n)
 		}
 		for _, r := range cfg.Ranges {
 			if r > maxRange {
@@ -148,16 +168,24 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 		lastEnd:   make(map[pairKey]float64),
 		positions: make([]geo.Point, n),
 		energy:    newEnergyState(cfg.Energy, n),
+		faults:    cfg.Faults,
 	}
 	for i := range m.neighbors {
 		m.neighbors[i] = make(map[int]*link)
 	}
-	return m
+	if m.faults.ChurnEnabled() {
+		m.down = make([]bool, n)
+	}
+	if m.faults.FlapEnabled() {
+		m.flapped = make(map[pairKey]bool)
+	}
+	return m, nil
 }
 
 // Start schedules the periodic connectivity scan. Call once before
 // Engine.Run.
 func (m *Manager) Start() {
+	m.scheduleChurn()
 	m.eng.Every(m.cfg.ScanInterval, m.Scan)
 }
 
@@ -197,6 +225,9 @@ func (m *Manager) Scan(now float64) {
 		if !m.energy.alive(int(p[0])) || !m.energy.alive(int(p[1])) {
 			continue
 		}
+		if m.isDown(int(p[0])) || m.isDown(int(p[1])) {
+			continue
+		}
 		if !m.inRange(int(p[0]), int(p[1])) {
 			continue
 		}
@@ -224,15 +255,22 @@ func (m *Manager) Scan(now float64) {
 		freed = m.linkDown(k, now, freed)
 	}
 
-	// Ups in grid order (already deterministic), skipping existing links
-	// and dead endpoints.
+	// Ups in grid order (already deterministic), skipping existing links,
+	// dead endpoints, and flap-suppressed pairs (a flapped contact stays
+	// down until the nodes genuinely separate).
 	for _, p := range m.pairBuf {
 		k := pairKey{p[0], p[1]}
-		if !current[k] {
+		if !current[k] || m.flapped[k] {
 			continue
 		}
 		if _, up := m.links[k]; !up {
 			m.linkUp(k, now)
+		}
+	}
+	// Separated pairs may flap again on their next genuine contact.
+	for k := range m.flapped {
+		if !current[k] {
+			delete(m.flapped, k)
 		}
 	}
 	if len(freed) > 0 {
@@ -258,9 +296,17 @@ func (m *Manager) inRange(a, b int) bool {
 
 func (m *Manager) linkUp(k pairKey, now float64) {
 	a, b := m.hosts[k[0]], m.hosts[k[1]]
-	l := &link{key: k, a: a, b: b, upAt: now}
+	l := &link{key: k, a: a, b: b, upAt: now, bw: 1}
 	l.refusedTo[0] = make(map[msg.ID]bool)
 	l.refusedTo[1] = make(map[msg.ID]bool)
+	if m.faults != nil {
+		// Fixed draw order (jitter, then flap), each from its own
+		// substream, so enabling one model never shifts the other.
+		l.bw = m.faults.BandwidthScale()
+		if d, ok := m.faults.FlapAfter(); ok {
+			l.flapTimer = m.eng.After(d, func(flapAt float64) { m.flapLink(k, flapAt) })
+		}
+	}
 	m.links[k] = l
 	m.neighbors[k[0]][int(k[1])] = l
 	m.neighbors[k[1]][int(k[0])] = l
@@ -286,6 +332,7 @@ func (m *Manager) linkUp(k pairKey, now float64) {
 func (m *Manager) linkDown(k pairKey, now float64, freed []int) []int {
 	l := m.links[k]
 	delete(m.links, k)
+	l.flapTimer.Cancel()
 	m.durations.Add(now - l.upAt)
 	if m.cfg.RecordContacts {
 		m.contactLog = append(m.contactLog, Contact{
@@ -375,7 +422,7 @@ func (m *Manager) startDirection(l *link, dir int, now float64) bool {
 			continue
 		}
 		t := &transfer{link: l, sender: sender, receiver: receiver, offer: offer, startedAt: now}
-		dur := float64(offer.S.M.Size) / m.cfg.Bandwidth
+		dur := float64(offer.S.M.Size) / (m.cfg.Bandwidth * l.bw)
 		t.done = m.eng.At(now+dur, func(doneAt float64) { m.complete(t, doneAt) })
 		l.active = t
 		l.flip = !l.flip
@@ -412,6 +459,16 @@ func (m *Manager) complete(t *transfer, now float64) {
 		m.collector.TransferAborted()
 		if m.tracer != nil {
 			m.tracer.Emit(obs.Event{T: now, Type: obs.TransferAbort, Msg: id,
+				Node: t.sender.ID(), Peer: t.receiver.ID()})
+		}
+	case m.faults.LoseTransfer():
+		// Injected radio loss: the bytes crossed the wire but the frame is
+		// unusable. The receiver discards; the sender's tokens are intact
+		// and the message may be re-offered (the retry costs real contact
+		// time, exactly like a real-world retransmission).
+		m.collector.TransferLost()
+		if m.tracer != nil {
+			m.tracer.Emit(obs.Event{T: now, Type: obs.TransferLost, Msg: id,
 				Node: t.sender.ID(), Peer: t.receiver.ID()})
 		}
 	default:

@@ -28,6 +28,15 @@ type rig struct {
 	mgr       *Manager
 }
 
+// mustManager unwraps NewManager in test rigs where the config is known
+// good.
+func mustManager(m *Manager, err error) *Manager {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // newRig builds n hosts at given positions with 100 B/s bandwidth,
 // 100 m range, and 1 s scans.
 func newRig(n int, bufBytes int64) *rig {
@@ -48,9 +57,9 @@ func newRig(n int, bufBytes int64) *rig {
 			Oracle:    tracker,
 		}))
 	}
-	r.mgr = NewManager(r.eng, Config{
+	r.mgr = mustManager(NewManager(r.eng, Config{
 		Area: geo.NewRect(50000, 1000), Range: 100, Bandwidth: 100, ScanInterval: 1,
-	}, r.hosts, models, r.collector, r.inter)
+	}, r.hosts, models, r.collector, r.inter))
 	r.mgr.Start()
 	return r
 }
@@ -269,8 +278,8 @@ func TestScanIsDeterministic(t *testing.T) {
 			})
 			models[i] = mobility.NewRandomWaypoint(area, 5, 5, 0, 0, rng.New(uint64(i)))
 		}
-		mgr := NewManager(eng, Config{Area: area, Range: 60, Bandwidth: 250, ScanInterval: 1},
-			hosts, models, collector, nil)
+		mgr := mustManager(NewManager(eng, Config{Area: area, Range: 60, Bandwidth: 250, ScanInterval: 1},
+			hosts, models, collector, nil))
 		mgr.Start()
 		// Traffic: a message every 40 s between fixed pairs.
 		id := msg.ID(0)
@@ -313,10 +322,10 @@ func TestPerNodeRanges(t *testing.T) {
 		})
 		models[i] = &puppet{p: pos[i]}
 	}
-	mgr := NewManager(eng, Config{
+	mgr := mustManager(NewManager(eng, Config{
 		Area: geo.NewRect(1000, 1000), Range: 100, Bandwidth: 100, ScanInterval: 1,
 		Ranges: []float64{200, 60, 200},
-	}, hosts, models, collector, nil)
+	}, hosts, models, collector, nil))
 	mgr.Start()
 	eng.Run(5)
 	if mgr.ActiveLinks() != 1 {
@@ -327,12 +336,7 @@ func TestPerNodeRanges(t *testing.T) {
 	}
 }
 
-func TestRangesLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on bad Ranges length")
-		}
-	}()
+func TestNewManagerRejectsBadInputs(t *testing.T) {
 	eng := sim.NewEngine()
 	collector := stats.NewCollector()
 	h := routing.NewHost(routing.HostConfig{
@@ -340,9 +344,16 @@ func TestRangesLengthMismatchPanics(t *testing.T) {
 		Proto: routing.SprayAndWait{Binary: true}, Rate: core.FixedRate{Mean: 1},
 		Clock: eng.Now, Collector: collector,
 	})
-	NewManager(eng, Config{Area: geo.NewRect(10, 10), Range: 1, Bandwidth: 1,
+	if _, err := NewManager(eng, Config{Area: geo.NewRect(10, 10), Range: 1, Bandwidth: 1,
 		ScanInterval: 1, Ranges: []float64{1, 2}},
-		[]*routing.Host{h}, []mobility.Model{&puppet{}}, collector, nil)
+		[]*routing.Host{h}, []mobility.Model{&puppet{}}, collector, nil); err == nil {
+		t.Fatal("no error on bad Ranges length")
+	}
+	if _, err := NewManager(eng, Config{Area: geo.NewRect(10, 10), Range: 1, Bandwidth: 1,
+		ScanInterval: 1},
+		[]*routing.Host{h}, nil, collector, nil); err == nil {
+		t.Fatal("no error on hosts/models mismatch")
+	}
 }
 
 func TestTransferAbortsWhenMessageExpiresInFlight(t *testing.T) {

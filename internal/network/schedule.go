@@ -12,17 +12,11 @@ type Contact struct {
 	Start, End float64
 }
 
-// StartScheduled drives the manager from a recorded contact list instead of
-// the mobility scanner: link-up/down events fire at the listed times and
-// the transfer engine runs unchanged on top. Call instead of Start.
-//
-// Contacts with A == B, End <= Start, or out-of-range ids are rejected.
-// Overlapping contacts for the same pair are merged implicitly (a second
-// "up" while the link is up is ignored; the link stays up until the last
-// scheduled down). The energy model's scan drain does not apply (there is
-// no radio discovery to model); transfer drain still does.
-func (m *Manager) StartScheduled(contacts []Contact) error {
-	n := len(m.hosts)
+// ValidateContacts checks a recorded contact list against a population of n
+// nodes: self-contacts, out-of-range ids, and empty or negative intervals
+// are rejected. Callers that assemble contacts from external traces should
+// validate at build time so later replay cannot fail.
+func ValidateContacts(contacts []Contact, n int) error {
 	for _, c := range contacts {
 		if c.A == c.B {
 			return fmt.Errorf("network: contact with itself: node %d", c.A)
@@ -34,6 +28,24 @@ func (m *Manager) StartScheduled(contacts []Contact) error {
 			return fmt.Errorf("network: contact %d-%d has bad interval [%v,%v]", c.A, c.B, c.Start, c.End)
 		}
 	}
+	return nil
+}
+
+// StartScheduled drives the manager from a recorded contact list instead of
+// the mobility scanner: link-up/down events fire at the listed times and
+// the transfer engine runs unchanged on top. Call instead of Start.
+//
+// Contacts failing ValidateContacts are rejected. Overlapping contacts for
+// the same pair are merged implicitly (a second "up" while the link is up
+// is ignored; the link stays up until the last scheduled down). The energy
+// model's scan drain does not apply (there is no radio discovery to model);
+// transfer drain still does. A churn-crashed node misses the remainder of
+// any recorded contact that starts or is in progress during its outage.
+func (m *Manager) StartScheduled(contacts []Contact) error {
+	if err := ValidateContacts(contacts, len(m.hosts)); err != nil {
+		return err
+	}
+	m.scheduleChurn()
 	sorted := append([]Contact(nil), contacts...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
 
@@ -45,7 +57,7 @@ func (m *Manager) StartScheduled(contacts []Contact) error {
 		k := keyOf(c.A, c.B)
 		m.eng.At(c.Start, func(now float64) {
 			depth[k]++
-			if depth[k] == 1 {
+			if depth[k] == 1 && !m.isDown(int(k[0])) && !m.isDown(int(k[1])) {
 				if _, up := m.links[k]; !up {
 					m.linkUp(k, now)
 				}

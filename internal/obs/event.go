@@ -59,8 +59,19 @@ const (
 	// flight, or the sender's copy vanished (Node = sender, Peer =
 	// receiver).
 	TransferAbort
+	// TransferLost: the transfer completed on the wire but the receiver
+	// discarded it — injected radio loss or a black-hole node swallowing the
+	// copy (Node = sender, Peer = receiver).
+	TransferLost
+	// NodeDown: churn crashed the host (Node).
+	NodeDown
+	// NodeUp: the host rebooted after an outage (Node).
+	NodeUp
+	// LinkFlap: the fault layer cut a live contact short (Node < Peer); a
+	// contact_down for the pair follows immediately.
+	LinkFlap
 
-	numTypes = int(TransferAbort) + 1
+	numTypes = int(LinkFlap) + 1
 )
 
 // String returns the stable wire name used in the JSONL log.
@@ -86,6 +97,14 @@ func (t Type) String() string {
 		return "transfer_start"
 	case TransferAbort:
 		return "transfer_abort"
+	case TransferLost:
+		return "transfer_lost"
+	case NodeDown:
+		return "node_down"
+	case NodeUp:
+		return "node_up"
+	case LinkFlap:
+		return "link_flap"
 	default:
 		return "unknown"
 	}
@@ -146,8 +165,13 @@ func (e Event) AppendJSON(b []byte) []byte {
 	case MessageExpired:
 		b = appendIntField(b, "msg", int64(e.Msg))
 		b = appendIntField(b, "node", int64(e.Node))
-	case MessageRefused, TransferAbort:
+	case MessageRefused, TransferAbort, TransferLost:
 		b = appendIntField(b, "msg", int64(e.Msg))
+		b = appendIntField(b, "node", int64(e.Node))
+		b = appendIntField(b, "peer", int64(e.Peer))
+	case NodeDown, NodeUp:
+		b = appendIntField(b, "node", int64(e.Node))
+	case LinkFlap:
 		b = appendIntField(b, "node", int64(e.Node))
 		b = appendIntField(b, "peer", int64(e.Peer))
 	case TransferStart:

@@ -32,6 +32,14 @@ func TestAppendJSONPerType(t *testing.T) {
 			`{"t":80,"type":"transfer_start","msg":7,"node":1,"peer":2,"size":25000,"kind":"delivery"}`},
 		{Event{T: 90, Type: TransferAbort, Msg: 7, Node: 1, Peer: 2},
 			`{"t":90,"type":"transfer_abort","msg":7,"node":1,"peer":2}`},
+		{Event{T: 100, Type: TransferLost, Msg: 7, Node: 1, Peer: 2},
+			`{"t":100,"type":"transfer_lost","msg":7,"node":1,"peer":2}`},
+		{Event{T: 110, Type: NodeDown, Node: 3},
+			`{"t":110,"type":"node_down","node":3}`},
+		{Event{T: 120, Type: NodeUp, Node: 3},
+			`{"t":120,"type":"node_up","node":3}`},
+		{Event{T: 130, Type: LinkFlap, Node: 0, Peer: 4},
+			`{"t":130,"type":"link_flap","node":0,"peer":4}`},
 	}
 	for _, c := range cases {
 		got := string(c.ev.AppendJSON(nil))

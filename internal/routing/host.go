@@ -13,6 +13,7 @@ import (
 
 	"sdsrp/internal/buffer"
 	"sdsrp/internal/core"
+	"sdsrp/internal/fault"
 	"sdsrp/internal/msg"
 	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
@@ -63,6 +64,10 @@ type HostConfig struct {
 	// Tracer receives structured lifecycle events; nil disables tracing at
 	// zero cost.
 	Tracer obs.Tracer
+	// Role is the node's behaviour under the fault layer's adversary model:
+	// honest (default), black-hole (accepts copies, silently discards them),
+	// or selfish (refuses to relay for others).
+	Role fault.Role
 }
 
 // Host is one DTN node's full protocol state.
@@ -85,6 +90,7 @@ type Host struct {
 	tracker   *Tracker
 	oracle    Oracle
 	tracer    obs.Tracer
+	role      fault.Role
 
 	// received marks messages this host has consumed as their destination.
 	received map[msg.ID]bool
@@ -113,6 +119,7 @@ func NewHost(cfg HostConfig) *Host {
 		tracker:     cfg.Tracker,
 		oracle:      cfg.Oracle,
 		tracer:      cfg.Tracer,
+		role:        cfg.Role,
 		received:    make(map[msg.ID]bool),
 		lastContact: make(map[int]float64),
 	}
@@ -133,6 +140,9 @@ func (h *Host) ID() int { return h.id }
 
 // Tracer returns the host's event sink (nil when tracing is off).
 func (h *Host) Tracer() obs.Tracer { return h.tracer }
+
+// Role returns the node's adversarial role (RoleHonest normally).
+func (h *Host) Role() fault.Role { return h.role }
 
 // emit forwards ev to the tracer. The nil check is the entire disabled
 // path: callers build the Event inline in the argument, so a nil tracer
@@ -329,6 +339,29 @@ func (h *Host) purgeAcked(now float64) {
 		h.collector.AckPurged()
 	}
 	_ = now
+}
+
+// WipeState models a cold reboot after a churn outage: every buffered copy
+// and the whole dropped-list table are lost. Delivered-message state
+// (received set, ACKs) and the λ estimator survive — a destination does not
+// forget what it consumed, and contact history is long-lived radio firmware
+// state in this model. Peers still hold (and re-gossip) this node's old
+// drop record. It returns the number of copies lost.
+func (h *Host) WipeState(now float64) int {
+	items := h.buf.Items()
+	dead := make([]*msg.Stored, len(items))
+	copy(dead, items) // Remove mutates the buffer's backing slice
+	for _, s := range dead {
+		h.buf.Remove(s.M.ID)
+		if h.tracker != nil {
+			h.tracker.NoteRemoved(s.M.ID, h.id)
+		}
+	}
+	if h.drops != nil {
+		h.drops.Reset()
+	}
+	_ = now
+	return len(dead)
 }
 
 // ExpireMessages removes every dead message at time now and forgets their

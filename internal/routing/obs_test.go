@@ -62,7 +62,7 @@ func TestNilTracerEmitNoAlloc(t *testing.T) {
 // sequence and checks the emitted event stream.
 func TestTracerLifecycleEvents(t *testing.T) {
 	ring := obs.NewRing(64)
-	tn, hosts := tracedNet(3, ring, 1 << 20)
+	tn, hosts := tracedNet(3, ring, 1<<20)
 	src, relay, dst := hosts[0], hosts[1], hosts[2]
 
 	m := tn.message(1, 0, 2, 8, 1000, 3600)
@@ -120,7 +120,7 @@ func TestTracerLifecycleEvents(t *testing.T) {
 // TestTracerExpiryEvent checks that the TTL sweep emits expired events.
 func TestTracerExpiryEvent(t *testing.T) {
 	ring := obs.NewRing(16)
-	tn, hosts := tracedNet(2, ring, 1 << 20)
+	tn, hosts := tracedNet(2, ring, 1<<20)
 	m := tn.message(5, 0, 1, 4, 100, 50)
 	if !hosts[0].Originate(m, tn.now) {
 		t.Fatal("originate failed")

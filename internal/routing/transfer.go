@@ -3,6 +3,7 @@ package routing
 import (
 	"fmt"
 
+	"sdsrp/internal/fault"
 	"sdsrp/internal/msg"
 	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
@@ -80,6 +81,11 @@ func (o Offer) Phantom(now float64) *msg.Stored {
 func (h *Host) PreAccept(o Offer, now float64) bool {
 	if o.Kind == KindDelivery {
 		return true
+	}
+	// A selfish node refuses to carry anyone else's traffic (it still
+	// accepts deliveries above and originates its own messages).
+	if h.role == fault.RoleSelfish {
+		return false
 	}
 	if h.drops != nil && h.drops.RejectsIncoming(o.S.M.ID) {
 		return false
@@ -167,6 +173,16 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 	sender.emit(obs.Event{T: now, Type: obs.MessageForwarded, Msg: id,
 		Node: sender.id, Peer: receiver.id, Copies: incoming.Copies,
 		Kind: o.Kind.String()})
+
+	// A black-hole receiver swallows the copy after the sender committed:
+	// tokens and bandwidth are spent, nothing is stored, and — unlike a
+	// policy drop — no dropped-list record betrays the attacker.
+	if receiver.role == fault.RoleBlackHole {
+		receiver.emit(obs.Event{T: now, Type: obs.TransferLost, Msg: id,
+			Node: sender.id, Peer: receiver.id})
+		c.TransferLost()
+		return false
+	}
 
 	victims, ok := policy.PlanEviction(receiver.pol, receiver, receiver.buf, incoming)
 	if !ok {

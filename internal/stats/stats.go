@@ -30,6 +30,7 @@ type Collector struct {
 	Started  int // transfers begun
 	Aborted  int // transfers cut by link-down
 	Refused  int // transfers declined up-front (dropped-list or overflow preflight)
+	Lost     int // transfers completed on the wire but discarded by the receiver
 
 	PolicyDrops  int // buffer-overflow evictions
 	ExpiredDrops int // TTL removals
@@ -81,6 +82,10 @@ func (c *Collector) TransferAborted() { c.Aborted++ }
 
 // TransferRefused counts a transfer declined before any bytes moved.
 func (c *Collector) TransferRefused() { c.Refused++ }
+
+// TransferLost counts a transfer whose bytes crossed the wire but were
+// discarded by the receiver (injected loss or a black-hole node).
+func (c *Collector) TransferLost() { c.Lost++ }
 
 // TransferCompleted counts a successful transfer (a "forward" in the
 // paper's overhead metric, whether spray, relay, or final delivery).
@@ -139,6 +144,7 @@ type Summary struct {
 	Started       int
 	Aborted       int
 	Refused       int
+	Lost          int
 	PolicyDrops   int
 	ExpiredDrops  int
 	AckPurges     int
@@ -164,6 +170,7 @@ func (c *Collector) Summarize() Summary {
 		Started:      c.Started,
 		Aborted:      c.Aborted,
 		Refused:      c.Refused,
+		Lost:         c.Lost,
 		PolicyDrops:  c.PolicyDrops,
 		ExpiredDrops: c.ExpiredDrops,
 		AckPurges:    c.AckPurges,

@@ -60,7 +60,9 @@ func ParseContacts(r io.Reader) ([]Contact, error) {
 		out = append(out, Contact{A: a, B: b, Start: start, End: end})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		// The scanner died mid-record (oversized or truncated line):
+		// report where, not just why.
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("trace: empty contact trace")

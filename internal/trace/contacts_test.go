@@ -45,6 +45,53 @@ func TestParseContactsErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorsCarryLineNumbers pins the diagnostic contract: every parse
+// failure — including a record the scanner itself chokes on — names the
+// offending line.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name  string
+		parse func(string) error
+		in    string
+		want  string
+	}{
+		{"contacts short record", func(s string) error {
+			_, err := ParseContacts(strings.NewReader(s))
+			return err
+		}, "0 1 10 60\n1 2 30\n", "line 2"},
+		{"contacts oversized record", func(s string) error {
+			_, err := ParseContacts(strings.NewReader(s))
+			return err
+		}, "0 1 10 60\n" + strings.Repeat("9", 2<<20), "line 2"},
+		{"cab truncated record", func(s string) error {
+			_, err := ParseCab(strings.NewReader(s))
+			return err
+		}, "37.7 -122.4 0 100\n37.8 -122.5 1\n", "line 2"},
+		{"cab oversized record", func(s string) error {
+			_, err := ParseCab(strings.NewReader(s))
+			return err
+		}, strings.Repeat("x", 2<<20), "line 1"},
+		{"one extra fields", func(s string) error {
+			_, err := ParseONE(strings.NewReader(s))
+			return err
+		}, "0 1 0 10 0 10\n5 a 3 4 7\n", "line 2"},
+		{"one oversized record", func(s string) error {
+			_, err := ParseONE(strings.NewReader(s))
+			return err
+		}, "0 1 0 10 0 10\n5 a 3 4\n" + strings.Repeat("1 ", 1<<20), "line 3"},
+	}
+	for _, tc := range cases {
+		err := tc.parse(tc.in)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 func TestWriteContactsRoundTrip(t *testing.T) {
 	in := []Contact{
 		{A: 3, B: 1, Start: 50, End: 70},

@@ -63,7 +63,7 @@ func ParseCab(r io.Reader) ([]Sample, error) {
 		out = append(out, Sample{Lat: lat, Lon: lon, Occupied: occ == 1, Time: ts})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out, nil

@@ -17,6 +17,8 @@ func FuzzParseCab(f *testing.F) {
 	f.Add("nan inf 0 100\n")
 	f.Add("37.7 -122.4 2 100\n")
 	f.Add(strings.Repeat("37.7 -122.4 0 100\n", 100))
+	f.Add("37.7 -122.4 0 100 extra\n")           // extra fields
+	f.Add(strings.Repeat("7", 1_100_000) + "\n") // over the 1 MB line cap
 	f.Fuzz(func(t *testing.T, in string) {
 		samples, err := ParseCab(strings.NewReader(in))
 		if err != nil {
@@ -37,6 +39,8 @@ func FuzzParseONE(f *testing.F) {
 	f.Add("0 1 0 10 0 10\n")
 	f.Add("0 1 0 10 0 10\n5 a 3 4\n")
 	f.Add("0 1 0 10 0 10 0 0\n5 a 3 4\n# c\n\n6 b 1 2\n")
+	f.Add("0 1 0 10 0 10\n5 a 3 4 7\n")                      // extra fields
+	f.Add("0 1 0 10 0 10\n" + strings.Repeat("1 ", 600_000)) // oversized record
 	f.Fuzz(func(t *testing.T, in string) {
 		fleet, err := ParseONE(strings.NewReader(in))
 		if err != nil {
@@ -56,6 +60,35 @@ func FuzzParseONE(f *testing.F) {
 		}
 		if _, err := fleet.Models(); err != nil {
 			t.Fatalf("parsed fleet unusable: %v", err)
+		}
+	})
+}
+
+func FuzzParseContacts(f *testing.F) {
+	f.Add(contactTrace)
+	f.Add("")
+	f.Add("# comments only\n\n")
+	f.Add("0 1 10 60\n1 2 30 90\n")
+	f.Add("0 0 10 20\n")                  // self contact
+	f.Add("0 1 20 10\n")                  // inverted interval
+	f.Add("0 1 10 20 5\n")                // extra fields
+	f.Add("0 1 10\n")                     // truncated record
+	f.Add(strings.Repeat("z", 1_100_000)) // over the 1 MB line cap
+	f.Add("-1 1 10 20\n")                 // negative id
+	f.Fuzz(func(t *testing.T, in string) {
+		cs, err := ParseContacts(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// On success every contact is well-formed and MaxNode covers it.
+		max := MaxNode(cs)
+		for i, c := range cs {
+			if c.A < 0 || c.B < 0 || c.A == c.B || c.End <= c.Start {
+				t.Fatalf("malformed contact %d accepted: %+v", i, c)
+			}
+			if c.A > max || c.B > max {
+				t.Fatalf("MaxNode %d misses contact %d: %+v", max, i, c)
+			}
 		}
 	})
 }

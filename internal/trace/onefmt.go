@@ -60,7 +60,7 @@ func ParseONE(r io.Reader) (*Fleet, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < 4 {
+		if len(fields) != 4 {
 			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
 		}
 		t, err := strconv.ParseFloat(fields[0], 64)
@@ -87,7 +87,7 @@ func ParseONE(r io.Reader) (*Fleet, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
 	}
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("trace: ONE movement file has no samples")

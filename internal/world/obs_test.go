@@ -91,7 +91,8 @@ func TestTracedRunLifecycleConsistency(t *testing.T) {
 		switch l.Type {
 		case "created":
 			created[*l.Msg] = true
-		case "delivered", "dropped", "expired", "forwarded", "transfer_start", "transfer_abort", "refused":
+		case "delivered", "dropped", "expired", "forwarded", "transfer_start",
+			"transfer_abort", "transfer_lost", "refused":
 			if l.Msg == nil {
 				t.Fatalf("%s event without msg: %q", l.Type, raw)
 			}
@@ -107,8 +108,8 @@ func TestTracedRunLifecycleConsistency(t *testing.T) {
 			if l.Type == "delivered" || l.Type == "dropped" || l.Type == "expired" {
 				fates++
 			}
-		case "contact_up", "contact_down":
-			// contact events are not message-scoped
+		case "contact_up", "contact_down", "link_flap", "node_down", "node_up":
+			// contact and node events are not message-scoped
 		default:
 			t.Fatalf("unknown event type %q", l.Type)
 		}
@@ -187,9 +188,12 @@ func TestRunStatsPopulated(t *testing.T) {
 func TestTimelineZeroHostsAndZeroCapacity(t *testing.T) {
 	eng := sim.NewEngine()
 	collector := stats.NewCollector()
-	mgr := network.NewManager(eng, network.Config{
+	mgr, err := network.NewManager(eng, network.Config{
 		Area: config.RandomWaypoint().Area, Range: 10, Bandwidth: 1, ScanInterval: 1e9,
 	}, nil, nil, collector, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := &World{Engine: eng, Manager: mgr, Collector: collector,
 		Scenario: config.Scenario{Duration: 10}}
 	w.EnableTimeline(2)

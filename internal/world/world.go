@@ -9,6 +9,7 @@ import (
 
 	"sdsrp/internal/config"
 	"sdsrp/internal/core"
+	"sdsrp/internal/fault"
 	"sdsrp/internal/geo"
 	"sdsrp/internal/graph"
 	"sdsrp/internal/mobility"
@@ -119,6 +120,11 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 		return nil, fmt.Errorf("world: unknown protocol %q", sc.ProtocolName)
 	}
 
+	// The fault injector draws only from its own pure split of the root
+	// stream, so a fault-free scenario (nil injector) is byte-identical to
+	// runs built before the fault layer existed.
+	inj := fault.New(sc.Faults, root.Split("fault"), nodes, churnEligible(sc, nodes))
+
 	useDrops := policyUsesDropList(sc.PolicyName) && !sc.DisableDropList
 	hosts := make([]*routing.Host, nodes)
 	for i := 0; i < nodes; i++ {
@@ -152,6 +158,7 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 			Tracker:           tracker,
 			Oracle:            tracker,
 			Tracer:            bo.tracer,
+			Role:              inj.Role(i),
 		})
 	}
 
@@ -159,7 +166,7 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 	if sc.RecordIntermeeting {
 		inter = &stats.Intermeeting{}
 	}
-	mgr := network.NewManager(eng, network.Config{
+	mgr, err := network.NewManager(eng, network.Config{
 		Area:           area,
 		Range:          sc.Range,
 		Bandwidth:      sc.Bandwidth,
@@ -167,6 +174,7 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 		Ranges:         ranges,
 		RecordContacts: sc.RecordContacts,
 		Tracer:         bo.tracer,
+		Faults:         inj,
 		Energy: network.EnergyConfig{
 			Capacity:   sc.Energy.Capacity,
 			ScanPerSec: sc.Energy.ScanPerSec,
@@ -174,6 +182,9 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 			RxPerSec:   sc.Energy.RxPerSec,
 		},
 	}, hosts, models, collector, inter)
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
 
 	w := &World{
 		scheduled:    scheduled,
@@ -201,6 +212,29 @@ func policyUsesDropList(name string) bool {
 	return (len(name) >= 5 && name[:5] == "SDSRP") || name == "Knapsack"
 }
 
+// churnEligible marks the nodes belonging to the churn-restricted groups.
+// Node ids are assigned group by group in declaration order (buildGroups),
+// so membership follows the same walk. Returns nil when churn is
+// unrestricted (every node may churn).
+func churnEligible(sc config.Scenario, nodes int) []bool {
+	if len(sc.Faults.Churn.Groups) == 0 {
+		return nil
+	}
+	named := make(map[string]bool, len(sc.Faults.Churn.Groups))
+	for _, g := range sc.Faults.Churn.Groups {
+		named[g] = true
+	}
+	eligible := make([]bool, nodes)
+	i := 0
+	for _, g := range sc.Groups {
+		for k := 0; k < g.Count && i < nodes; k++ {
+			eligible[i] = named[g.Name]
+			i++
+		}
+	}
+	return eligible
+}
+
 // buildScheduled loads a contact trace and fabricates the static population
 // that replays it (positions are irrelevant in scheduled mode).
 func buildScheduled(sc config.Scenario) ([]network.Contact, []mobility.Model, []int64, []float64, geo.Rect, int, error) {
@@ -220,6 +254,11 @@ func buildScheduled(sc config.Scenario) ([]network.Contact, []mobility.Model, []
 	contacts := make([]network.Contact, len(raw))
 	for i, c := range raw {
 		contacts[i] = network.Contact{A: c.A, B: c.B, Start: c.Start, End: c.End}
+	}
+	// Validate now so replay at Run time cannot fail (Run treats a
+	// StartScheduled error as a programming error).
+	if err := network.ValidateContacts(contacts, nodes); err != nil {
+		return nil, nil, nil, nil, geo.Rect{}, 0, fmt.Errorf("world: %s: %w", sc.ContactTraceFile, err)
 	}
 	models := make([]mobility.Model, nodes)
 	buffers := make([]int64, nodes)

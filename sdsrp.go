@@ -27,6 +27,7 @@ import (
 
 	"sdsrp/internal/config"
 	"sdsrp/internal/experiment"
+	"sdsrp/internal/fault"
 	"sdsrp/internal/msg"
 	"sdsrp/internal/obs"
 	"sdsrp/internal/policy"
@@ -122,6 +123,16 @@ const MB = config.MB
 
 // Group is one homogeneous sub-population of a heterogeneous scenario.
 type Group = config.Group
+
+// Fault-injection types (see internal/fault): set Scenario.Faults to
+// enable deterministic loss, flapping, jitter, churn, and adversarial
+// roles.
+type (
+	// FaultConfig is the per-scenario fault-injection configuration.
+	FaultConfig = fault.Config
+	// FaultChurn parameterizes node crash/reboot churn.
+	FaultChurn = fault.Churn
+)
 
 // TimelinePoint is one periodic snapshot of global run state.
 type TimelinePoint = world.TimelinePoint
