@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz fuzz-smoke experiments check resilience examples clean
+.PHONY: all build vet lint test test-short race bench fuzz fuzz-smoke experiments check resilience examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism-invariant static analysis (DESIGN.md §11): no wall-clock in
+# simulation logic, no global math/rand, no library panics, no map-order
+# emission, no bare float equality in score math.
+lint:
+	$(GO) run ./cmd/dtnlint ./...
 
 test:
 	$(GO) test ./...

@@ -167,7 +167,9 @@ func main() {
 		fatal("%v", err)
 	}
 	if *timelineOut != "" {
-		w.EnableTimeline(*timelineInterval)
+		if err := w.EnableTimeline(*timelineInterval); err != nil {
+			fatal("%v", err)
+		}
 	}
 	if *profileOut != "" {
 		f, err := os.Create(*profileOut)
@@ -184,7 +186,10 @@ func main() {
 			}
 		}()
 	}
-	res := w.Run()
+	res, err := w.Run()
+	if err != nil {
+		fatal("%v", err)
+	}
 	if jsonl != nil {
 		if err := jsonl.Flush(); err != nil {
 			fatal("%v", err)

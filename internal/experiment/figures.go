@@ -233,7 +233,10 @@ func Fig3(o Options) ([]report.Panel, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := w.Run()
+		res, err := w.Run()
+		if err != nil {
+			return nil, err
+		}
 		const nbins = 20
 		bins := w.Intermeeting.Histogram(nbins)
 		p := report.Panel{

@@ -165,7 +165,7 @@ func RunTimed(scs []config.Scenario, workers int, progress func(ProgressInfo)) (
 				if err != nil {
 					errs[i] = err
 				} else {
-					results[i] = wld.Run()
+					results[i], errs[i] = wld.Run()
 				}
 				if progress != nil {
 					d := int(done.Add(1))

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// checkWallclock flags time.Now and time.Since outside the perf-timing
+// allowlist. Wall-clock reads inside simulation logic leak host speed into
+// results; simulated time must be injected instead.
+func checkWallclock(p *Pass) {
+	for i, f := range p.Pkg.Files {
+		if inScope(p.Pkg.Filenames[i], p.Cfg.WallclockAllow) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if name := obj.Name(); name == "Now" || name == "Since" {
+				p.reportf(sel.Pos(), "no-wallclock",
+					"time.%s outside the perf-timing allowlist; inject simulated time (sim.Engine clock) instead", name)
+			}
+			return true
+		})
+	}
+}
+
+// checkRNGDiscipline flags imports of math/rand and math/rand/v2 outside
+// the seeded-stream wrapper package. Global rand draws are seeded from the
+// environment and shared across subsystems, which breaks run-to-run
+// reproducibility; all randomness must flow through injected rng.Stream
+// substreams.
+func checkRNGDiscipline(p *Pass) {
+	if inScope(p.Pkg.Rel, p.Cfg.RNGExempt) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.reportf(imp.Pos(), "rng-discipline",
+					"import of %s outside internal/rng; draw from an injected *rng.Stream substream instead", path)
+			}
+		}
+	}
+}
+
+// checkNoPanic flags panic calls in library packages. A panic either is an
+// unreachable-invariant guard — then it carries a //lint:invariant <reason>
+// annotation — or it belongs to a reachable failure path and must become
+// an error return.
+func checkNoPanic(p *Pass) {
+	if len(p.Cfg.PanicScope) > 0 && !inScope(p.Pkg.Rel, p.Cfg.PanicScope) {
+		return
+	}
+	for i, f := range p.Pkg.Files {
+		file := p.Pkg.Filenames[i]
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := p.Pkg.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			line := p.fset.Position(call.Pos()).Line
+			if p.Pkg.invariantAt(file, line) {
+				return true
+			}
+			p.reportf(call.Pos(), "no-panic",
+				"panic in library code; return an error or annotate the guard with //lint:invariant <reason>")
+			return true
+		})
+	}
+}
+
+// emissionMethods are method names treated as output sinks: calling one
+// from inside a map-range body serializes map iteration order into the
+// emitted stream.
+var emissionMethods = map[string]bool{
+	"Emit":        true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// sortFuncs are the sort/slices entry points accepted as establishing a
+// deterministic order for a collected slice.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Ints": true, "Strings": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// checkMapEmit flags `for … range <map>` loops that leak Go's randomized
+// map iteration order into observable output. Two forms are diagnosed:
+// direct emission (Emit / Write* / fmt print calls) inside the loop body,
+// and appends to a slice declared outside the loop that is never sorted
+// afterwards in the same function. The collect-keys-then-sort idiom —
+// append inside the loop, sort.Slice after it — passes.
+func checkMapEmit(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkMapRangesIn(fd.Body)
+		}
+	}
+}
+
+// checkMapRangesIn analyzes every map-range loop in one function body,
+// using the whole body as the scope in which a later sort may legitimize a
+// collected slice.
+func (p *Pass) checkMapRangesIn(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Pkg.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		p.checkMapRangeBody(body, rng)
+		return true
+	})
+}
+
+func (p *Pass) checkMapRangeBody(funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, sink := p.emissionCall(call); sink {
+			p.reportf(call.Pos(), "ordered-map-emit",
+				"%s inside map iteration emits in randomized order; iterate sorted keys instead", name)
+			return true
+		}
+		target := p.appendTarget(call)
+		if target == nil || p.declaredWithin(target, rng) {
+			return true
+		}
+		if !p.sortedAfter(funcBody, target, rng.End()) {
+			p.reportf(call.Pos(), "ordered-map-emit",
+				"append to %q inside map iteration without a later sort; sort keys before emission", target.Name())
+		}
+		return true
+	})
+}
+
+// emissionCall reports whether call writes to an output sink, returning a
+// printable name for the diagnostic.
+func (p *Pass) emissionCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	// Method sinks: x.Emit(...), w.Write(...), b.WriteString(...).
+	if emissionMethods[name] && p.Pkg.Info.Selections[sel] != nil {
+		return name, true
+	}
+	// Package sinks: fmt.Fprintf(...), fmt.Println(...).
+	if obj := p.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+		return "fmt." + name, true
+	}
+	return "", false
+}
+
+// appendTarget returns the object a builtin append call grows, or nil when
+// call is not an append.
+func (p *Pass) appendTarget(call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if _, builtin := p.Pkg.Info.Uses[id].(*types.Builtin); !builtin {
+		return nil
+	}
+	return p.rootObject(call.Args[0])
+}
+
+// rootObject resolves the variable or field an expression ultimately
+// names: x, x.f, x[i], (*x) all resolve to a stable object.
+func (p *Pass) rootObject(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Pkg.Info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return p.rootObject(e.X)
+	case *ast.StarExpr:
+		return p.rootObject(e.X)
+	case *ast.ParenExpr:
+		return p.rootObject(e.X)
+	}
+	return nil
+}
+
+// declaredWithin reports whether obj is declared inside the range
+// statement itself — a per-iteration local whose ordering cannot escape.
+func (p *Pass) declaredWithin(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// sortedAfter reports whether an ordering call mentioning obj appears
+// after pos within the function body: a sort/slices entry point, or a
+// helper whose name marks it as a sort (sortPairKeys, SortByID, …).
+func (p *Pass) sortedAfter(funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || !p.isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if p.mentions(arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes calls that establish a deterministic order: the
+// sort and slices package entry points, and any function or method whose
+// name starts with "sort"/"Sort".
+func (p *Pass) isSortCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if fn := p.Pkg.Info.Uses[fun.Sel]; fn != nil && fn.Pkg() != nil && sortFuncs[name] {
+			if path := fn.Pkg().Path(); path == "sort" || path == "slices" {
+				return true
+			}
+		}
+	default:
+		return false
+	}
+	return strings.HasPrefix(name, "sort") || strings.HasPrefix(name, "Sort")
+}
+
+// mentions reports whether expression e references obj anywhere inside it.
+func (p *Pass) mentions(e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if p.Pkg.Info.Uses[n] == obj {
+				hit = true
+			}
+		case *ast.SelectorExpr:
+			if p.Pkg.Info.Uses[n.Sel] == obj {
+				hit = true
+			}
+		}
+		return !hit
+	})
+	return hit
+}
+
+// checkFloatEq flags == and != between floating-point operands in the
+// score-math packages. Exact float comparison is either a bug (derived
+// quantities rarely compare equal) or a deliberate bitwise tie-break that
+// deserves a //lint:ignore annotation explaining itself.
+func checkFloatEq(p *Pass) {
+	if len(p.Cfg.FloatEqScope) > 0 && !inScope(p.Pkg.Rel, p.Cfg.FloatEqScope) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if p.isFloat(bin.X) || p.isFloat(bin.Y) {
+				p.reportf(bin.OpPos, "float-eq",
+					"floating-point %s comparison; use an epsilon or annotate the intentional bitwise tie-break", bin.Op)
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

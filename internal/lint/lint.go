@@ -1,0 +1,239 @@
+// Package lint is dtnlint's engine: a stdlib-only static-analysis suite
+// that machine-checks the simulator's determinism and error-handling
+// invariants (same seed ⇒ byte-identical results).
+//
+// The suite is built from go/parser, go/ast, go/types, and go/token alone,
+// preserving the module's zero-external-dependency constraint. Five checks
+// run over every non-test file of every package in the module:
+//
+//   - no-wallclock: time.Now / time.Since are forbidden outside an explicit
+//     perf-timing allowlist. Simulated time must be injected.
+//   - rng-discipline: math/rand and math/rand/v2 may be imported only by
+//     internal/rng; all randomness flows through seeded rng.Stream splits.
+//   - no-panic: panic(...) in internal/ library packages must either carry
+//     a //lint:invariant <reason> annotation (unreachable-invariant guard)
+//     or be converted to an error return.
+//   - ordered-map-emit: a `for … range <map>` loop must not emit (Emit,
+//     Write*, fmt print family) in iteration order, and may append to an
+//     outer slice only when that slice is sorted afterwards in the same
+//     function (the collect-keys-then-sort idiom).
+//   - float-eq: == / != on floating-point operands in the score-math
+//     packages (internal/policy, internal/buffer); exact comparisons there
+//     are almost always a tie-break that needs an explicit annotation.
+//
+// Findings can be suppressed with a `//lint:ignore <check> <reason>`
+// comment on the flagged line or the line above it. Malformed or
+// unknown-check directives are themselves reported (check "lint-directive"),
+// so a typo cannot silently disable enforcement.
+//
+// Diagnostics are emitted in a deterministic order (file, line, column,
+// check, message) with module-relative slash-separated paths, so the tool's
+// own output is byte-stable run to run — the same property it enforces.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// CheckNames lists every check in the suite, in documentation order.
+// "lint-directive" (malformed suppression comments) always runs.
+var CheckNames = []string{
+	"no-wallclock",
+	"rng-discipline",
+	"no-panic",
+	"ordered-map-emit",
+	"float-eq",
+}
+
+// KnownCheck reports whether name is a check of the suite (including the
+// implicit directive validator).
+func KnownCheck(name string) bool {
+	if name == "lint-directive" {
+		return true
+	}
+	for _, c := range CheckNames {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Config scopes the checks to the right parts of a module. Scope entries
+// are module-relative slash-separated paths: an entry matches a file when
+// it equals the file path exactly or is a directory prefix of it ("cmd"
+// matches cmd/dtnsim/main.go). An empty scope list means "everywhere" for
+// applies-where scopes and "nowhere" for allowlists, so the zero Config is
+// the strictest configuration — what the fixture tests use.
+type Config struct {
+	// Checks selects a subset of checks by name; empty runs the full suite.
+	Checks []string
+	// WallclockAllow lists files and directories where time.Now/time.Since
+	// are legitimate (real perf timing, CLI progress output).
+	WallclockAllow []string
+	// RNGExempt lists packages allowed to import math/rand[/v2] — the
+	// seeded-stream wrapper itself.
+	RNGExempt []string
+	// PanicScope limits no-panic to these directories; empty = everywhere.
+	PanicScope []string
+	// FloatEqScope limits float-eq to these directories; empty = everywhere.
+	FloatEqScope []string
+}
+
+// DefaultConfig returns the scoping for this repository: the allowlist and
+// scopes named in the determinism-invariants section of DESIGN.md.
+func DefaultConfig() Config {
+	return Config{
+		WallclockAllow: []string{
+			"internal/sim/sim.go",           // engine wall-clock perf counter
+			"internal/experiment/runner.go", // batch ETA accounting
+			"cmd",                           // CLI progress and timing output
+		},
+		RNGExempt:    []string{"internal/rng"},
+		PanicScope:   []string{"internal"},
+		FloatEqScope: []string{"internal/policy", "internal/buffer"},
+	}
+}
+
+func (c Config) wants(check string) bool {
+	if len(c.Checks) == 0 {
+		return true
+	}
+	for _, n := range c.Checks {
+		if n == check {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope reports whether the module-relative path matches any entry.
+func inScope(rel string, entries []string) bool {
+	for _, e := range entries {
+		e = strings.TrimSuffix(e, "/")
+		if rel == e || strings.HasPrefix(rel, e+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, addressed by module-relative position.
+type Diagnostic struct {
+	File  string // slash-separated, relative to the module root
+	Line  int
+	Col   int
+	Check string
+	Msg   string
+}
+
+// String formats the finding as path:line:col: [check] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Msg)
+}
+
+// sortDiagnostics orders findings deterministically: file, line, column,
+// check name, message.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Pass hands one package to one check and collects its findings.
+type Pass struct {
+	Pkg   *Package
+	Cfg   Config
+	diags *[]Diagnostic
+	fset  *token.FileSet
+}
+
+// reportf records a finding at pos.
+func (p *Pass) reportf(pos token.Pos, check, format string, args ...any) {
+	position := p.fset.Position(pos)
+	rel := p.Pkg.relFile(position.Filename)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:  rel,
+		Line:  position.Line,
+		Col:   position.Column,
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the configured checks over every package of m and returns
+// the surviving findings in deterministic order. Suppressed findings are
+// dropped; malformed directives are reported as lint-directive findings.
+func Run(m *Module, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	checks := []struct {
+		name string
+		fn   func(*Pass)
+	}{
+		{"no-wallclock", checkWallclock},
+		{"rng-discipline", checkRNGDiscipline},
+		{"no-panic", checkNoPanic},
+		{"ordered-map-emit", checkMapEmit},
+		{"float-eq", checkFloatEq},
+	}
+	for _, pkg := range m.Pkgs {
+		pass := &Pass{Pkg: pkg, Cfg: cfg, diags: &diags, fset: m.Fset}
+		for _, c := range checks {
+			if cfg.wants(c.name) {
+				c.fn(pass)
+			}
+		}
+		diags = append(diags, pkg.directiveProblems...)
+	}
+	diags = applySuppressions(m, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// applySuppressions drops findings covered by a lint:ignore directive on
+// the same line or the line above.
+func applySuppressions(m *Module, diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Check != "lint-directive" && m.suppressed(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (m *Module) suppressed(d Diagnostic) bool {
+	for _, pkg := range m.Pkgs {
+		lines, ok := pkg.ignores[d.File]
+		if !ok {
+			continue
+		}
+		for _, ln := range []int{d.Line, d.Line - 1} {
+			for _, dir := range lines[ln] {
+				for _, c := range dir.checks {
+					if c == d.Check {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

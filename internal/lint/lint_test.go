@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one golden package from testdata/src.
+func loadFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	m, err := LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return m
+}
+
+// wantMarkers extracts the "// want check [check...]" expectations from a
+// fixture package's sources, keyed "file:line:check".
+func wantMarkers(t *testing.T, name string) map[string]int {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := name + "/" + e.Name()
+		for i, line := range strings.Split(string(data), "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, check := range strings.Fields(marker) {
+				want[fmt.Sprintf("%s:%d:%s", rel, i+1, check)]++
+			}
+		}
+	}
+	return want
+}
+
+// keyed collapses diagnostics to "file:line:check" counts.
+func keyed(diags []Diagnostic) map[string]int {
+	got := make(map[string]int)
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Check)]++
+	}
+	return got
+}
+
+func diffKeys(t *testing.T, got, want map[string]int) {
+	t.Helper()
+	keys := make([]string, 0, len(got)+len(want))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] != want[k] {
+			t.Errorf("%s: got %d findings, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+// TestFixtures runs the full suite over each golden package with the
+// strict zero config and compares findings against the // want markers.
+func TestFixtures(t *testing.T) {
+	for _, name := range []string{"wallclock", "rngdiscipline", "nopanic", "mapemit", "floateq"} {
+		t.Run(name, func(t *testing.T) {
+			m := loadFixture(t, name)
+			diffKeys(t, keyed(Run(m, Config{})), wantMarkers(t, name))
+		})
+	}
+}
+
+// TestDirectiveValidation asserts the malformed-directive findings by
+// explicit line number (a want marker cannot share a line with a
+// directive — it would parse as the directive's reason).
+func TestDirectiveValidation(t *testing.T) {
+	m := loadFixture(t, "directives")
+	want := map[string]int{
+		"directives/directives.go:13:lint-directive": 1, // ignore without reason
+		"directives/directives.go:15:lint-directive": 1, // unknown check name
+		"directives/directives.go:17:lint-directive": 1, // invariant without reason
+		"directives/directives.go:19:lint-directive": 1, // unknown directive kind
+		"directives/directives.go:20:float-eq":       1, // survives the broken suppressions
+	}
+	diffKeys(t, keyed(Run(m, Config{})), want)
+}
+
+// TestChecksSubset verifies Config.Checks narrows the suite.
+func TestChecksSubset(t *testing.T) {
+	m := loadFixture(t, "wallclock")
+	if diags := Run(m, Config{Checks: []string{"no-panic"}}); len(diags) != 0 {
+		t.Fatalf("no-panic over the wallclock fixture found %d diags: %v", len(diags), diags)
+	}
+	if diags := Run(m, Config{Checks: []string{"no-wallclock"}}); len(diags) != 3 {
+		t.Fatalf("no-wallclock subset found %d diags, want 3: %v", len(diags), diags)
+	}
+}
+
+// TestScoping verifies the Config scope semantics the default config
+// relies on: allowlists silence files, scopes restrict packages.
+func TestScoping(t *testing.T) {
+	m := loadFixture(t, "wallclock")
+	cfg := Config{WallclockAllow: []string{"wallclock"}}
+	if diags := Run(m, cfg); len(diags) != 0 {
+		t.Fatalf("allowlisted fixture still reported %d diags: %v", len(diags), diags)
+	}
+	m = loadFixture(t, "floateq")
+	cfg = Config{FloatEqScope: []string{"elsewhere"}}
+	if diags := Run(m, cfg); len(diags) != 0 {
+		t.Fatalf("out-of-scope float-eq reported %d diags: %v", len(diags), diags)
+	}
+	m = loadFixture(t, "rngdiscipline")
+	cfg = Config{RNGExempt: []string{"rngdiscipline"}}
+	if diags := Run(m, cfg); len(diags) != 0 {
+		t.Fatalf("exempt rng package reported %d diags: %v", len(diags), diags)
+	}
+}
+
+// TestInScope pins the path-matching rules scope entries use.
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		rel     string
+		entries []string
+		want    bool
+	}{
+		{"cmd/dtnsim/main.go", []string{"cmd"}, true},
+		{"cmd/dtnsim/main.go", []string{"cmd/"}, true},
+		{"cmdline/main.go", []string{"cmd"}, false},
+		{"internal/sim/sim.go", []string{"internal/sim/sim.go"}, true},
+		{"internal/sim/sim_extra.go", []string{"internal/sim/sim.go"}, false},
+		{"internal/rng", []string{"internal/rng"}, true},
+		{"anything", nil, false},
+	}
+	for _, c := range cases {
+		if got := inScope(c.rel, c.entries); got != c.want {
+			t.Errorf("inScope(%q, %v) = %v, want %v", c.rel, c.entries, got, c.want)
+		}
+	}
+}
+
+// TestDeterministicOutput loads and lints the same fixture twice and
+// requires byte-identical, position-sorted rendering — the property the
+// tool enforces elsewhere.
+func TestDeterministicOutput(t *testing.T) {
+	lint := func() []Diagnostic {
+		return Run(loadFixture(t, "mapemit"), Config{})
+	}
+	a, b := lint(), lint()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("two runs rendered differently:\n%v\n--\n%v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		p, q := a[i-1], a[i]
+		if p.File > q.File || (p.File == q.File && p.Line > q.Line) {
+			t.Fatalf("diagnostics out of position order: %v before %v", p, q)
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("mapemit fixture produced no findings")
+	}
+}

@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the full import path ("sdsrp/internal/sim").
+	Path string
+	// Rel is the module-relative directory ("" for the module root).
+	Rel string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Filenames is parallel to Files: module-relative slash paths.
+	Filenames []string
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+
+	// ignores maps file → line → lint:ignore directives on that line.
+	ignores map[string]map[int][]directive
+	// invariants maps file → line → true when a lint:invariant annotation
+	// sits on that line.
+	invariants map[string]map[int]bool
+	// directiveProblems records malformed directives as findings.
+	directiveProblems []Diagnostic
+}
+
+// relFile converts an absolute file name from the fileset into the
+// module-relative slash form used in diagnostics.
+func (p *Package) relFile(abs string) string {
+	if p.Rel == "" {
+		return filepath.ToSlash(filepath.Base(abs))
+	}
+	return p.Rel + "/" + filepath.ToSlash(filepath.Base(abs))
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	checks []string
+	reason string
+}
+
+// Module is a fully loaded module (or a single fixture package) ready to
+// be linted.
+type Module struct {
+	// Root is the absolute directory the load started from.
+	Root string
+	// ModPath is the module path from go.mod ("" for fixture loads).
+	ModPath string
+	Fset    *token.FileSet
+	// Pkgs is sorted by import path.
+	Pkgs []*Package
+}
+
+// LoadModule walks the module rooted at dir, parses every non-test .go
+// file of every package (skipping testdata, vendor, hidden, and underscore
+// directories), and type-checks the packages in dependency order. Stdlib
+// imports resolve through the toolchain's source importer, so the loader
+// needs nothing beyond GOROOT. Type errors are joined into the returned
+// error; the analysis requires a compiling module.
+func LoadModule(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, ModPath: modPath, Fset: token.NewFileSet()}
+	parsed := make(map[string]*Package, len(dirs)) // import path → package
+	imports := make(map[string][]string, len(dirs))
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		path := modPath
+		if rel != "" {
+			path = modPath + "/" + rel
+		}
+		pkg, deps, err := parseDir(m.Fset, d, path, rel, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		parsed[path] = pkg
+		imports[path] = deps
+	}
+	order, err := topoOrder(parsed, imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{
+		local: make(map[string]*types.Package, len(order)),
+		std:   importer.ForCompiler(m.Fset, "source", nil),
+	}
+	var typeErrs []string
+	for _, path := range order {
+		pkg := parsed[path]
+		if err := typeCheck(m.Fset, pkg, imp); err != nil {
+			typeErrs = append(typeErrs, err.Error())
+			continue
+		}
+		imp.local[path] = pkg.Types
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	if len(typeErrs) > 0 {
+		sort.Strings(typeErrs)
+		return m, errors.New(strings.Join(typeErrs, "\n"))
+	}
+	return m, nil
+}
+
+// LoadDir loads a single package directory outside any module — the
+// fixture loader. Imports must resolve from the standard library.
+func LoadDir(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel := filepath.Base(root)
+	m := &Module{Root: root, Fset: token.NewFileSet()}
+	pkg, _, err := parseDir(m.Fset, root, rel, rel, "")
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	imp := &moduleImporter{std: importer.ForCompiler(m.Fset, "source", nil)}
+	if err := typeCheck(m.Fset, pkg, imp); err != nil {
+		return nil, err
+	}
+	m.Pkgs = []*Package{pkg}
+	return m, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// packageDirs returns every directory under root that may hold a package,
+// in sorted order. The skip set mirrors the go tool: testdata, vendor,
+// and dot- or underscore-prefixed directories are invisible.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory. It returns a nil
+// package when the directory holds no Go sources, and the list of
+// in-module import paths for dependency ordering.
+func parseDir(fset *token.FileSet, dir, path, rel, modPath string) (*Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg := &Package{
+		Path:       path,
+		Rel:        rel,
+		ignores:    make(map[string]map[int][]directive),
+		invariants: make(map[string]map[int]bool),
+	}
+	var deps []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		relName := pkg.relFile(name)
+		pkg.Filenames = append(pkg.Filenames, relName)
+		pkg.parseDirectives(fset, f, relName)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if modPath != "" && (p == modPath || strings.HasPrefix(p, modPath+"/")) {
+				deps = append(deps, p)
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil, nil
+	}
+	return pkg, deps, nil
+}
+
+// parseDirectives scans one file's comments for //lint:ignore and
+// //lint:invariant directives, recording well-formed ones by line and
+// malformed ones as lint-directive findings.
+func (p *Package) parseDirectives(fset *token.FileSet, f *ast.File, relName string) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			kind, rest, _ := strings.Cut(text, " ")
+			switch kind {
+			case "ignore":
+				check, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if check == "" || strings.TrimSpace(reason) == "" {
+					p.directiveProblems = append(p.directiveProblems, Diagnostic{
+						File: relName, Line: pos.Line, Col: pos.Column, Check: "lint-directive",
+						Msg: "malformed directive: want //lint:ignore <check> <reason>",
+					})
+					continue
+				}
+				if !KnownCheck(check) {
+					p.directiveProblems = append(p.directiveProblems, Diagnostic{
+						File: relName, Line: pos.Line, Col: pos.Column, Check: "lint-directive",
+						Msg: fmt.Sprintf("unknown check %q in //lint:ignore", check),
+					})
+					continue
+				}
+				if p.ignores[relName] == nil {
+					p.ignores[relName] = make(map[int][]directive)
+				}
+				p.ignores[relName][pos.Line] = append(p.ignores[relName][pos.Line],
+					directive{checks: []string{check}, reason: reason})
+			case "invariant":
+				if strings.TrimSpace(rest) == "" {
+					p.directiveProblems = append(p.directiveProblems, Diagnostic{
+						File: relName, Line: pos.Line, Col: pos.Column, Check: "lint-directive",
+						Msg: "malformed directive: want //lint:invariant <reason>",
+					})
+					continue
+				}
+				if p.invariants[relName] == nil {
+					p.invariants[relName] = make(map[int]bool)
+				}
+				p.invariants[relName][pos.Line] = true
+			default:
+				p.directiveProblems = append(p.directiveProblems, Diagnostic{
+					File: relName, Line: pos.Line, Col: pos.Column, Check: "lint-directive",
+					Msg: fmt.Sprintf("unknown directive //lint:%s", kind),
+				})
+			}
+		}
+	}
+}
+
+// invariantAt reports whether a lint:invariant annotation covers the given
+// file line (same line or the line above).
+func (p *Package) invariantAt(file string, line int) bool {
+	lines := p.invariants[file]
+	return lines[line] || lines[line-1]
+}
+
+// topoOrder sorts import paths so every package follows its in-module
+// dependencies. Visiting in sorted order keeps the result deterministic.
+func topoOrder(pkgs map[string]*Package, imports map[string][]string) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(paths))
+	order := make([]string, 0, len(paths))
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		deps := append([]string(nil), imports[path]...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := pkgs[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves in-module imports from already-checked packages
+// and everything else through the stdlib source importer.
+type moduleImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck runs go/types over one parsed package, filling pkg.Types and
+// pkg.Info.
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			errs = append(errs, err.Error())
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if len(errs) > 0 {
+		return fmt.Errorf("lint: type-checking %s: %s", pkg.Path, strings.Join(errs, "; "))
+	}
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

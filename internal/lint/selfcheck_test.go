@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoLintsClean loads the whole module and requires a clean run of
+// the full suite under the default config — the gate `make lint` applies
+// on every commit. Any new wall-clock read, global rand draw, bare panic,
+// or unsorted map emission fails this test.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(m.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk is missing code", len(m.Pkgs))
+	}
+	diags := Run(m, DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("repo has %d lint findings; run `make lint` for the same report", len(diags))
+	}
+}
+
+// TestDefaultConfigNamesRealPaths guards the allowlist against bit-rot:
+// every scoped path must still exist in the repository, so a rename
+// cannot silently widen or narrow enforcement.
+func TestDefaultConfigNamesRealPaths(t *testing.T) {
+	cfg := DefaultConfig()
+	paths := append([]string{}, cfg.WallclockAllow...)
+	paths = append(paths, cfg.RNGExempt...)
+	paths = append(paths, cfg.PanicScope...)
+	paths = append(paths, cfg.FloatEqScope...)
+	for _, p := range paths {
+		abs := filepath.Join("..", "..", filepath.FromSlash(p))
+		if _, err := os.Stat(abs); err != nil {
+			t.Errorf("DefaultConfig names %q, which does not exist in the repo: %v", p, err)
+		}
+	}
+}

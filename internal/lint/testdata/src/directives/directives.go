@@ -1,0 +1,21 @@
+// Package directives exercises lint-directive validation: malformed or
+// unknown suppressions are findings themselves, so a typo can never
+// silently disable enforcement.
+//
+// Expected findings are asserted by line number in lint_test.go — a `want`
+// marker cannot share a line with a directive, because everything after
+// the directive keyword parses as its reason.
+package directives
+
+// Bad stacks one of every malformed directive form above a finding that
+// must survive them all.
+func Bad(a, b float64) bool {
+	//lint:ignore float-eq
+	_ = a
+	//lint:ignore no-such-check the named check does not exist
+	_ = b
+	//lint:invariant
+	_ = a
+	//lint:frobnicate unknown directive kind
+	return a == b
+}

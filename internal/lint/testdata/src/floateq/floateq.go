@@ -1,0 +1,34 @@
+// Package floateq exercises the float-eq check: exact equality between
+// derived floating-point quantities is almost always a bug; deliberate
+// bitwise tie-breaks must say so.
+package floateq
+
+// Same compares two scores with exact equality.
+func Same(a, b float64) bool {
+	return a == b // want float-eq
+}
+
+// Different compares float32 operands with !=.
+func Different(a, b float32) bool {
+	return a != b // want float-eq
+}
+
+// MixedConst compares a float variable against an untyped constant.
+func MixedConst(a float64) bool {
+	return a == 0.1 // want float-eq
+}
+
+// Less uses an ordered comparison — fine.
+func Less(a, b float64) bool { return a < b }
+
+// IntEq compares integers — fine.
+func IntEq(a, b int) bool { return a == b }
+
+// TieBreak documents an intentional bitwise comparison.
+func TieBreak(a, b float64, i, j int) bool {
+	//lint:ignore float-eq bitwise tie-break keeps the fixture sort deterministic
+	if a != b {
+		return a > b
+	}
+	return i < j
+}

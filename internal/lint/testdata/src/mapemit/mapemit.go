@@ -1,0 +1,109 @@
+// Package mapemit exercises the ordered-map-emit check: Go randomizes map
+// iteration order, so emitting from inside a map range makes output differ
+// run to run even under a fixed seed.
+package mapemit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Sink is a minimal event sink with the conventional Emit method name.
+type Sink struct{ W io.Writer }
+
+// Emit writes one value.
+func (s Sink) Emit(v int) { fmt.Fprintln(s.W, v) }
+
+// EmitUnsorted streams map entries in iteration order — always flagged.
+func EmitUnsorted(m map[int]int, s Sink) {
+	for k := range m {
+		s.Emit(k) // want ordered-map-emit
+	}
+}
+
+// PrintUnsorted writes map entries through fmt in iteration order.
+func PrintUnsorted(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want ordered-map-emit
+	}
+}
+
+// WriteUnsorted streams through an io.Writer method in iteration order.
+func WriteUnsorted(m map[string][]byte, w io.Writer) {
+	for _, b := range m {
+		if _, err := w.Write(b); err != nil { // want ordered-map-emit
+			return
+		}
+	}
+}
+
+// CollectUnsorted returns keys in iteration order; no sort follows in this
+// function, so the caller inherits randomized order.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want ordered-map-emit
+	}
+	return keys
+}
+
+// CollectSorted is the canonical sorted-keys idiom: collect, sort, use.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectSortSlice accepts the sort.Slice form too.
+func CollectSortSlice(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// CollectHelperSorted accepts a named sort helper as establishing order.
+func CollectHelperSorted(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []int) { sort.Ints(keys) }
+
+// LocalAccumulator appends to a slice declared inside the loop body — a
+// per-iteration local whose order cannot escape; not flagged.
+func LocalAccumulator(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var pair []int
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}
+
+// SliceRange ranges a slice, not a map; emission order is already
+// deterministic.
+func SliceRange(vs []int, s Sink) {
+	for _, v := range vs {
+		s.Emit(v)
+	}
+}
+
+// Ignored demonstrates suppression of a deliberate unordered emission.
+func Ignored(m map[int]int, s Sink) {
+	for k := range m {
+		//lint:ignore ordered-map-emit fixture demonstrates suppression of order-insensitive output
+		s.Emit(k)
+	}
+}

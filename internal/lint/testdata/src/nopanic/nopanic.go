@@ -1,0 +1,41 @@
+// Package nopanic exercises the no-panic check: reachable failure paths
+// in library code must return errors; only annotated unreachable
+// invariants may panic.
+package nopanic
+
+import "errors"
+
+// Sqrt panics on bad input — a reachable failure path that should be an
+// error return.
+func Sqrt(x float64) float64 {
+	if x < 0 {
+		panic("nopanic: negative input") // want no-panic
+	}
+	return x // fixture stub; precision is irrelevant
+}
+
+// Checked is the compliant conversion of Sqrt.
+func Checked(x float64) (float64, error) {
+	if x < 0 {
+		return 0, errors.New("nopanic: negative input")
+	}
+	return x, nil
+}
+
+// Invariant guards a state the caller contract makes unreachable; the
+// annotation keeps the panic.
+func Invariant(state int) int {
+	switch state {
+	case 0, 1:
+		return state
+	default:
+		//lint:invariant state is assigned only from the two exported constants
+		panic("nopanic: impossible state")
+	}
+}
+
+// Ignored demonstrates that //lint:ignore also silences the check.
+func Ignored() {
+	//lint:ignore no-panic fixture demonstrates the generic suppression path
+	panic("nopanic: suppressed")
+}

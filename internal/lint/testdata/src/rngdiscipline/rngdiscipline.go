@@ -1,0 +1,11 @@
+// Package rngdiscipline exercises the rng-discipline check: global
+// math/rand draws are seeded from the environment and shared across
+// subsystems, destroying run-to-run reproducibility.
+package rngdiscipline
+
+import (
+	"math/rand" // want rng-discipline
+)
+
+// Roll draws from the global source — the import line is the finding.
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,8 @@
+package rngdiscipline
+
+import (
+	mrand "math/rand/v2" // want rng-discipline
+)
+
+// RollV2 draws from the v2 global source; the renamed import still counts.
+func RollV2() int { return mrand.IntN(6) }

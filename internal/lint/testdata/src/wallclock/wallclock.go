@@ -1,0 +1,28 @@
+// Package wallclock exercises the no-wallclock check: reading the host
+// clock inside simulation logic leaks hardware speed into results.
+package wallclock
+
+import "time"
+
+// Uptime reads the wall clock twice; both reads are violations here
+// because the fixture config has an empty allowlist.
+func Uptime() time.Duration {
+	start := time.Now()      // want no-wallclock
+	return time.Since(start) // want no-wallclock
+}
+
+// Timestamp returns a formatted wall-clock reading.
+func Timestamp() string {
+	return time.Now().Format(time.RFC3339) // want no-wallclock
+}
+
+// Suppressed demonstrates a //lint:ignore annotation on the line above.
+func Suppressed() time.Time {
+	//lint:ignore no-wallclock fixture demonstrates an allowlisted perf-timing read
+	return time.Now()
+}
+
+// Injected is the compliant pattern: the clock arrives as a dependency.
+func Injected(now func() time.Time) time.Time {
+	return now()
+}

@@ -68,6 +68,7 @@ func NewSourceCopy(m *Message) *Stored {
 // not be sprayed.
 func (s *Stored) Split(now float64) *Stored {
 	if s.Copies < 2 {
+		//lint:invariant the protocol offers KindSpray only for Copies >= 2 (wait-phase copies relay or hand off)
 		panic("msg: Split on a wait-phase copy")
 	}
 	give := s.Copies / 2

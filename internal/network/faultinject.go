@@ -53,16 +53,13 @@ func (m *Manager) scheduleCrash(id int, after float64) {
 // link-ups, and a reboot is scheduled after a drawn outage.
 func (m *Manager) nodeDown(id int, now float64) {
 	m.down[id] = true
+	// Collect the neighbor-map keys, then sort: teardown order feeds
+	// emitted events and must not inherit map iteration order.
 	keys := make([]pairKey, 0, len(m.neighbors[id]))
 	for p := range m.neighbors[id] {
 		keys = append(keys, keyOf(id, p))
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
+	sortPairKeys(keys)
 	var freed []int
 	for _, k := range keys {
 		freed = m.linkDown(k, now, freed)

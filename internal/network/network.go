@@ -69,6 +69,18 @@ func keyOf(a, b int) pairKey {
 	return pairKey{int32(a), int32(b)}
 }
 
+// sortPairKeys orders link keys lexicographically — the canonical order for
+// keys collected from the link and neighbor maps before any teardown or
+// event emission, so map iteration order never reaches observable output.
+func sortPairKeys(keys []pairKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+}
+
 type transfer struct {
 	link      *link
 	sender    *routing.Host
@@ -234,19 +246,16 @@ func (m *Manager) Scan(now float64) {
 		current[pairKey{p[0], p[1]}] = true
 	}
 
-	// Downs first (frees endpoints), in deterministic order.
+	// Downs first (frees endpoints). Collect the link-map keys, then sort:
+	// the teardown order must never inherit map iteration order, or the
+	// abort/kick sequence — and every event it emits — would vary run to run.
 	var downs []pairKey
 	for k := range m.links {
 		if !current[k] {
 			downs = append(downs, k)
 		}
 	}
-	sort.Slice(downs, func(i, j int) bool {
-		if downs[i][0] != downs[j][0] {
-			return downs[i][0] < downs[j][0]
-		}
-		return downs[i][1] < downs[j][1]
-	})
+	sortPairKeys(downs)
 	// Kicks are deferred until every down in this tick is processed, so a
 	// freed endpoint never starts a transfer on a sibling link that is
 	// itself about to drop in the same tick.

@@ -50,7 +50,10 @@ func (m *Manager) StartScheduled(contacts []Contact) error {
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
 
 	// Track how many overlapping recorded contacts keep each pair up, so
-	// merged intervals behave like one long contact.
+	// merged intervals behave like one long contact. The map is only ever
+	// indexed by key, never ranged: link transitions fire in the engine's
+	// (time, seq) order fixed by the sorted schedule above, so no map
+	// iteration order can reach the event stream.
 	depth := make(map[pairKey]int)
 	for _, c := range sorted {
 		c := c

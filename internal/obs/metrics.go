@@ -143,13 +143,19 @@ func (m *Metrics) Count(t Type) uint64 {
 // DropsAt returns the policy-drop count at one host.
 func (m *Metrics) DropsAt(node int) uint64 { return m.drops[node] }
 
-// DropsByNode returns (node, drops) pairs sorted by node id.
+// DropsByNode returns (node, drops) pairs sorted by node id. The counter
+// map's keys are sorted before the samples are built, so the emitted order
+// never depends on map iteration.
 func (m *Metrics) DropsByNode() []NodeCount {
-	out := make([]NodeCount, 0, len(m.drops))
-	for n, c := range m.drops {
-		out = append(out, NodeCount{Node: n, Count: c})
+	nodes := make([]int, 0, len(m.drops))
+	for n := range m.drops {
+		nodes = append(nodes, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	sort.Ints(nodes)
+	out := make([]NodeCount, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, NodeCount{Node: n, Count: m.drops[n]})
+	}
 	return out
 }
 

@@ -8,6 +8,11 @@ import (
 // Tracer receives every instrumented event of one simulation run. A run is
 // single-threaded, so implementations need no locking. Instrumented code
 // treats a nil Tracer as "tracing off" and must not call Emit on it.
+//
+// Emit order is part of the determinism contract: callers must emit in the
+// engine's deterministic dispatch order (never from a map iteration — see
+// dtnlint's ordered-map-emit check), and sinks must preserve arrival order,
+// so the same seed yields a byte-identical event stream.
 type Tracer interface {
 	Emit(Event)
 }

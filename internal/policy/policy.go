@@ -64,6 +64,7 @@ func SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		si, sj := scores[out[i].M.ID], scores[out[j].M.ID]
+		//lint:ignore float-eq bitwise tie-break: only exactly equal scores fall through to the ID order
 		if si != sj {
 			return si > sj
 		}
@@ -97,6 +98,7 @@ func PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (v
 	}
 	// Ascending score: weakest first; ties break on ID for determinism.
 	sort.SliceStable(cands, func(i, j int) bool {
+		//lint:ignore float-eq bitwise tie-break: only exactly equal scores fall through to the ID order
 		if cands[i].score != cands[j].score {
 			return cands[i].score < cands[j].score
 		}
@@ -120,6 +122,7 @@ func PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (v
 // weakerThanIncoming applies the same ordering as the eviction sort, so the
 // newcomer takes its place in the ranking rather than winning ties.
 func weakerThanIncoming(score, inScore float64, id, inID msg.ID) bool {
+	//lint:ignore float-eq bitwise tie-break: must rank exactly like the eviction sort above or Algorithm 1 loops
 	if score != inScore {
 		return score < inScore
 	}

@@ -103,6 +103,7 @@ type Host struct {
 // constructed by the world builder, so a bad config is a programming error.
 func NewHost(cfg HostConfig) *Host {
 	if cfg.Policy == nil || cfg.Proto == nil || cfg.Clock == nil || cfg.Collector == nil {
+		//lint:invariant hosts are wired by world.Build from a validated scenario; a nil dependency is builder misuse, not input
 		panic(fmt.Sprintf("routing: incomplete host config for node %d", cfg.ID))
 	}
 	h := &Host{
@@ -292,6 +293,7 @@ func (h *Host) Originate(m *msg.Message, now float64) bool {
 		h.DropMessage(v, now)
 	}
 	if err := h.buf.Add(s); err != nil {
+		//lint:invariant PlanEviction just freed enough bytes for s in this same event; Add cannot overflow
 		panic(fmt.Sprintf("routing: originate after eviction: %v", err))
 	}
 	if h.tracker != nil {

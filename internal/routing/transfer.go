@@ -65,6 +65,7 @@ func (o Offer) Phantom(now float64) *msg.Stored {
 		// Deliveries are consumed, not stored.
 		return &msg.Stored{M: o.S.M, Copies: o.S.Copies, ReceivedAt: now, Hops: o.S.Hops + 1}
 	default:
+		//lint:invariant Kind is assigned only from the four KindX constants by the offer constructors
 		panic(fmt.Sprintf("routing: phantom for unknown kind %v", o.Kind))
 	}
 }
@@ -156,6 +157,7 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 		got := o.S.Split(now)
 		// Split recomputes the same numbers as Phantom; they must agree.
 		if got.Copies != incoming.Copies {
+			//lint:invariant Phantom and Split compute ⌊C/2⌋ from the same copy; divergence means the token ledger is corrupt
 			panic("routing: phantom/split divergence")
 		}
 	case KindSpraySource:
@@ -204,6 +206,7 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 		receiver.DropMessage(v, now)
 	}
 	if err := receiver.buf.Add(incoming); err != nil {
+		//lint:invariant PlanEviction just freed enough bytes for incoming in this same event; Add cannot overflow
 		panic(fmt.Sprintf("routing: add after eviction: %v", err))
 	}
 	if receiver.tracker != nil {

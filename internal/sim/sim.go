@@ -83,9 +83,11 @@ func (e *Engine) Wall() time.Duration { return e.wall }
 // Now) panics: it is always a logic error in a discrete-event model.
 func (e *Engine) At(t float64, fn Handler) EventID {
 	if t < e.now {
+		//lint:invariant documented At contract: scheduling in the past is always a logic error in a discrete-event model
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if math.IsNaN(t) {
+		//lint:invariant a NaN deadline would silently vanish in the heap ordering; failing loudly preserves determinism
 		panic("sim: scheduling event at NaN time")
 	}
 	ev := &event{time: t, seq: e.seq, fn: fn}
@@ -107,6 +109,7 @@ func (e *Engine) After(d float64, fn Handler) EventID {
 // d must be > 0.
 func (e *Engine) Every(d float64, fn Handler) EventID {
 	if d <= 0 {
+		//lint:invariant documented Every contract: a non-positive period would loop the clock forever at one instant
 		panic("sim: Every requires positive period")
 	}
 	ctl := &event{} // carries the cancel flag across re-schedules

@@ -31,7 +31,7 @@ func TestContactRateMatchesGroeneveltTheory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 
 	const omega = 1.3683
 	v := sc.Mobility.SpeedLo // constant 2 m/s
@@ -59,7 +59,7 @@ func TestMeanIntermeetingMatchesTheory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 
 	const omega = 1.3683
 	area := sc.Area.W() * sc.Area.H()

@@ -54,7 +54,7 @@ func TestContactTraceDrivenRun(t *testing.T) {
 	if len(w.Hosts) != 10 {
 		t.Fatalf("hosts = %d (trace has ids 0-9)", len(w.Hosts))
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Contacts == 0 {
 		t.Fatal("no contacts replayed")
 	}
@@ -63,7 +63,7 @@ func TestContactTraceDrivenRun(t *testing.T) {
 	}
 	// Deterministic like everything else.
 	w2, _ := Build(sc)
-	if w2.Run().Summary != r.Summary {
+	if mustRun(t, w2).Summary != r.Summary {
 		t.Fatal("contact-trace run not deterministic")
 	}
 }

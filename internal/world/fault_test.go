@@ -72,7 +72,7 @@ func TestFaultEventsObservable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := w.Run()
+	res := mustRun(t, w)
 	for _, et := range []obs.Type{obs.TransferLost, obs.NodeDown, obs.NodeUp, obs.LinkFlap} {
 		if metrics.Count(et) == 0 {
 			t.Errorf("no %v events in a heavy fault run", et)
@@ -95,14 +95,14 @@ func TestBlackHolesHurtDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := w.Run()
+	base := mustRun(t, w)
 
 	sc.Faults = fault.Config{BlackHoleFraction: 0.25}
 	w2, err := Build(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hole := w2.Run()
+	hole := mustRun(t, w2)
 	if hole.Delivered > base.Delivered {
 		t.Errorf("black holes improved delivery: %d > %d", hole.Delivered, base.Delivered)
 	}
@@ -127,7 +127,7 @@ func TestChurnGroupScoping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	var downs int
 	for _, ev := range ring.Events() {
 		if ev.Type == obs.NodeDown || ev.Type == obs.NodeUp {

@@ -45,7 +45,7 @@ func TestGroupsBuildAndRun(t *testing.T) {
 	if w.Hosts[28].Buffer().Capacity() != 10_000_000 {
 		t.Fatalf("relay buffer = %d", w.Hosts[28].Buffer().Capacity())
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Created == 0 || r.Contacts == 0 {
 		t.Fatalf("degenerate group run: %+v", r.Summary)
 	}
@@ -60,7 +60,7 @@ func TestGroupsStaticNodesDoNotMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	// Static relays occupy ids 28..31; verify their mobility by sampling
 	// through a fresh build (models are not exported, so rebuild and check
 	// determinism of the whole run instead).
@@ -68,7 +68,7 @@ func TestGroupsStaticNodesDoNotMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w.Run().Summary != w2.Run().Summary {
+	if mustRun(t, w).Summary != mustRun(t, w2).Summary {
 		t.Fatal("group scenario not deterministic")
 	}
 }

@@ -71,7 +71,7 @@ func TestTrackerSeenBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	holders := countHolders(w)
 	for id, n := range holders {
 		seen := w.Tracker.Seen(id)
@@ -94,7 +94,7 @@ func TestHopBoundUnderBinarySpray(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	// log2(8) = 3 spray hops max, +1 for the final delivery hop.
 	const maxHops = 4
 	for _, h := range w.Hosts {
@@ -120,7 +120,7 @@ func TestNoZombieCopiesAfterExpiry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	now := w.Engine.Now()
 	for _, h := range w.Hosts {
 		for _, s := range h.Buffer().Items() {
@@ -143,7 +143,7 @@ func TestNoDuplicateDeliveries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Duplicates != 0 {
 		t.Fatalf("%d duplicate deliveries slipped through", r.Duplicates)
 	}

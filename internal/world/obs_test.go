@@ -37,7 +37,7 @@ func runTraced(t *testing.T, sc config.Scenario) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	if err := jsonl.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestTracedRunMatchesCollector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := w.Run()
+	res := mustRun(t, w)
 	if got, want := int(metrics.Count(obs.MessageCreated)), res.Created; got != want {
 		t.Errorf("created: tracer %d, collector %d", got, want)
 	}
@@ -163,7 +163,7 @@ func TestRunStatsPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := w.Run()
+	res := mustRun(t, w)
 	p := res.Perf
 	if p.Events == 0 {
 		t.Error("no events counted")
@@ -196,7 +196,9 @@ func TestTimelineZeroHostsAndZeroCapacity(t *testing.T) {
 	}
 	w := &World{Engine: eng, Manager: mgr, Collector: collector,
 		Scenario: config.Scenario{Duration: 10}}
-	w.EnableTimeline(2)
+	if err := w.EnableTimeline(2); err != nil {
+		t.Fatal(err)
+	}
 	eng.Run(10)
 	pts := w.Timeline()
 	if len(pts) == 0 {

@@ -24,10 +24,11 @@ type TimelinePoint struct {
 }
 
 // EnableTimeline schedules a snapshot every interval seconds (call before
-// Run). The samples are available from Timeline afterwards.
-func (w *World) EnableTimeline(interval float64) {
+// Run). The samples are available from Timeline afterwards. A
+// non-positive interval is rejected.
+func (w *World) EnableTimeline(interval float64) error {
 	if interval <= 0 {
-		panic("world: timeline interval must be positive")
+		return fmt.Errorf("world: timeline interval must be positive, got %v", interval)
 	}
 	w.Engine.Every(interval, func(now float64) {
 		s := w.Collector.Summarize()
@@ -56,6 +57,7 @@ func (w *World) EnableTimeline(interval float64) {
 			BufferFill:    fill,
 		})
 	})
+	return nil
 }
 
 // Timeline returns the snapshots collected so far.

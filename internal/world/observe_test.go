@@ -12,8 +12,13 @@ func TestTimelineSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.EnableTimeline(500)
-	w.Run()
+	if err := w.EnableTimeline(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableTimeline(0); err == nil {
+		t.Fatal("non-positive timeline interval accepted")
+	}
+	mustRun(t, w)
 	pts := w.Timeline()
 	if len(pts) != 8 { // 4000s / 500s
 		t.Fatalf("timeline points = %d, want 8", len(pts))
@@ -64,7 +69,7 @@ func TestMessageFates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	fates := w.MessageFates()
 	if len(fates) != r.Created {
 		t.Fatalf("fates = %d, created = %d", len(fates), r.Created)

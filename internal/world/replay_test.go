@@ -22,7 +22,7 @@ func TestContactExportReplayLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig := w.Run()
+	orig := mustRun(t, w)
 	log := w.Manager.ContactLog()
 	if len(log) == 0 {
 		t.Fatal("no contacts recorded")
@@ -52,7 +52,7 @@ func TestContactExportReplayLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay := w2.Run()
+	replay := mustRun(t, w2)
 
 	// Links still up at the horizon were not exported, so the replay sees
 	// at most the original contact count, within a small margin.
@@ -73,7 +73,7 @@ func TestContactLogDisabledByDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	if len(w.Manager.ContactLog()) != 0 {
 		t.Fatal("contacts recorded without RecordContacts")
 	}

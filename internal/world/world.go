@@ -489,13 +489,13 @@ func (w *World) scheduleTraffic(s *rng.Stream) {
 }
 
 // Run executes the scenario to its horizon and returns the result digest.
-func (w *World) Run() Result {
+// The only failure path is a contact-trace-driven run whose schedule fails
+// to install; scanner-driven runs cannot fail.
+func (w *World) Run() (Result, error) {
 	if !w.started {
 		if w.scheduled != nil {
 			if err := w.Manager.StartScheduled(w.scheduled); err != nil {
-				// Contacts were validated at Build time; a failure here is
-				// a programming error.
-				panic(err)
+				return Result{}, fmt.Errorf("world: starting scheduled contacts: %w", err)
 			}
 		} else {
 			w.Manager.Start()
@@ -503,7 +503,7 @@ func (w *World) Run() Result {
 		w.started = true
 	}
 	w.Engine.Run(w.Scenario.Duration)
-	return w.Result()
+	return w.Result(), nil
 }
 
 // RunStats returns the engine-level performance digest of the run so far.

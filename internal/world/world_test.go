@@ -10,6 +10,16 @@ import (
 	"sdsrp/internal/msg"
 )
 
+// mustRun executes w to its horizon, failing the test on a run error.
+func mustRun(t testing.TB, w *World) Result {
+	t.Helper()
+	r, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // smallScenario is a scaled-down Table II used by the integration tests:
 // dense enough to deliver plenty of traffic in a couple of simulated hours.
 func smallScenario(policyName string) config.Scenario {
@@ -48,7 +58,7 @@ func TestRunDeliversTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Created < 100 {
 		t.Fatalf("created = %d, traffic generator broken", r.Created)
 	}
@@ -75,7 +85,7 @@ func TestDeterministicRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w.Run()
+		return mustRun(t, w)
 	}
 	a, b := run(), run()
 	if a.Summary != b.Summary || a.Contacts != b.Contacts {
@@ -88,7 +98,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 	w1, _ := Build(sc)
 	sc.Seed = 999
 	w2, _ := Build(sc)
-	a, b := w1.Run(), w2.Run()
+	a, b := mustRun(t, w1), mustRun(t, w2)
 	if a.Summary == b.Summary {
 		t.Fatal("different seeds produced identical summaries")
 	}
@@ -103,7 +113,7 @@ func TestPoliciesProduceDifferentOutcomes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		results[p] = w.Run()
+		results[p] = mustRun(t, w)
 	}
 	if results["SprayAndWait"].Summary == results["SDSRP"].Summary {
 		t.Fatal("FIFO and SDSRP produced identical runs; policy not wired")
@@ -120,7 +130,7 @@ func TestTokenConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	tokens := map[msg.ID]int{}
 	var initial map[msg.ID]int = map[msg.ID]int{}
 	for _, h := range w.Hosts {
@@ -147,7 +157,7 @@ func TestBufferBudgetRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	for _, h := range w.Hosts {
 		if h.Buffer().Used() > h.Buffer().Capacity() {
 			t.Fatalf("host %d over budget: %d/%d", h.ID(), h.Buffer().Used(), h.Buffer().Capacity())
@@ -162,7 +172,7 @@ func TestCongestionCausesDrops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.PolicyDrops == 0 {
 		t.Fatal("no drops under heavy congestion; buffer management never exercised")
 	}
@@ -176,7 +186,7 @@ func TestIntermeetingRecording(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.IntermeetingN < 50 {
 		t.Fatalf("intermeeting samples = %d", r.IntermeetingN)
 	}
@@ -198,7 +208,7 @@ func TestTaxiScenarioRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Contacts == 0 {
 		t.Fatal("taxi scenario produced no contacts")
 	}
@@ -220,7 +230,7 @@ func TestEpidemicAndDirectBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, rd := we.Run(), wd.Run()
+	re, rd := mustRun(t, we), mustRun(t, wd)
 	// Epidemic floods: overhead far above direct delivery's zero.
 	if re.Forwards <= rd.Forwards {
 		t.Fatalf("epidemic forwards %d <= direct %d", re.Forwards, rd.Forwards)
@@ -237,7 +247,7 @@ func TestOracleRateMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Delivered == 0 {
 		t.Fatal("oracle-rate run delivered nothing")
 	}
@@ -256,7 +266,7 @@ func TestDropListAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, r2 := w1.Run(), w2.Run()
+	r1, r2 := mustRun(t, w1), mustRun(t, w2)
 	if r1.Summary == r2.Summary {
 		t.Fatal("drop-list ablation changed nothing; gossip not wired")
 	}
@@ -272,7 +282,7 @@ func TestMobilityKinds(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
-		if r := w.Run(); r.Contacts == 0 {
+		if r := mustRun(t, w); r.Contacts == 0 {
 			t.Fatalf("%s: no contacts", kind)
 		}
 	}
@@ -290,7 +300,7 @@ func TestMapGridScenarioRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := w.Run()
+	r := mustRun(t, w)
 	if r.Contacts == 0 || r.Created == 0 {
 		t.Fatalf("degenerate map run: %+v", r.Summary)
 	}
@@ -299,7 +309,7 @@ func TestMapGridScenarioRuns(t *testing.T) {
 	}
 	// Determinism through the map path too.
 	w2, _ := Build(sc)
-	if w2.Run().Summary != r.Summary {
+	if mustRun(t, w2).Summary != r.Summary {
 		t.Fatal("map scenario not deterministic")
 	}
 }
@@ -324,7 +334,7 @@ func TestMapFileScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := w.Run(); r.Contacts == 0 {
+	if r := mustRun(t, w); r.Contacts == 0 {
 		t.Fatal("no contacts on a tiny map")
 	}
 	sc.Mobility.MapFile = filepath.Join(dir, "missing.txt")
@@ -339,7 +349,7 @@ func TestWarmupIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := w1.Run()
+	r1 := mustRun(t, w1)
 
 	warm := base
 	warm.Warmup = 2000 // half the horizon
@@ -347,7 +357,7 @@ func TestWarmupIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2 := w2.Run()
+	r2 := mustRun(t, w2)
 	// Roughly half the messages are excluded from the metrics.
 	if r2.Created >= r1.Created || r2.Created < r1.Created/3 {
 		t.Fatalf("warmup created = %d vs %d", r2.Created, r1.Created)
@@ -369,7 +379,7 @@ func TestHeterogeneousMessageSizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	mustRun(t, w)
 	seen := 0
 	distinct := map[int64]bool{}
 	for _, h := range w.Hosts {

@@ -167,7 +167,7 @@ func Run(sc Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return w.Run(), nil
+	return w.Run()
 }
 
 // RunAll executes scenarios in parallel over the given worker count

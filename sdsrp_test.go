@@ -40,7 +40,10 @@ func TestPublicBuildExposesWorld(t *testing.T) {
 	if len(w.Hosts) != 24 {
 		t.Fatalf("hosts = %d", len(w.Hosts))
 	}
-	res := w.Run()
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Created == 0 {
 		t.Fatal("world run produced nothing")
 	}
