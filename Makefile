@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench fuzz fuzz-smoke experiments check resilience examples clean
+.PHONY: all build vet lint test test-short race bench bench-smoke bench-report fuzz fuzz-smoke experiments check resilience examples clean
 
 all: build vet lint test
 
@@ -30,6 +30,25 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# CI-sized perf sanity pass (~1 min, see PERFORMANCE.md): runs the suite's
+# smoke case, asserts the report round-trips through the schema, and — via
+# the second invocation gating on the first's sim digest — that two separate
+# processes simulate byte-identically. The huge -max-regress disarms the
+# timing gate (CI machines are noisy); only determinism failures can trip it.
+bench-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/dtnbench -smoke -iters 3 -out $$tmp/smoke.json -quiet && \
+	$(GO) run ./cmd/dtnbench -smoke -iters 2 -baseline $$tmp/smoke.json -max-regress 100000 -quiet && \
+	$(GO) test -run 'TestGoldenTraceByteIdentical|TestReportByteStable|TestSmokeCaseMatchesGoldenCounters' ./internal/bench/ && \
+	rm -rf $$tmp
+
+# Full regression suite (~1 h): write a candidate report and gate it against
+# the newest committed BENCH_<n>.json. See PERFORMANCE.md for how to read
+# the delta table and when to commit the candidate as the next baseline.
+bench-report:
+	$(GO) run ./cmd/dtnbench -iters 3 -out BENCH_candidate.json \
+		-baseline $$(ls BENCH_*.json | grep -v candidate | sort -t_ -k2 -n | tail -1)
 
 # Short fuzzing bursts over the trace parsers.
 fuzz:

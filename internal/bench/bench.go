@@ -1,0 +1,207 @@
+// Package bench is the reproducible performance-regression harness behind
+// cmd/dtnbench and the root `go test -bench` targets.
+//
+// The harness runs a fixed suite of scenarios (Suite): the paper's Table II
+// and Table III configurations at full parameters, the Fig. 8 sweeps and a
+// resilience-churn sweep at the shared reduced benchmark scale
+// (BenchOptions), and a seconds-scale smoke case. Every case is a
+// deterministic simulation workload, so each measurement run yields two
+// kinds of data:
+//
+//   - a Sim digest — engine event counts, headline stats counters, and an
+//     FNV-64a fingerprint of the simulation's observable results. The digest
+//     must be identical on every iteration and every machine; the harness
+//     fails a case whose digest varies between iterations, and the
+//     regression report flags baselines whose digests differ (a behaviour
+//     change, not just a speed change).
+//   - a Perf measurement — wall time, ns/op (minimum over iterations),
+//     allocations and bytes per op, and events/sec. These are the only
+//     fields that legitimately differ between two runs of the same tree.
+//
+// Reports serialize to byte-stable JSON (Report / WriteJSON): struct-ordered
+// keys, no maps, no timestamps. Two consecutive runs of the same binary
+// produce byte-identical files modulo the Perf blocks — ClonePerfStripped
+// gives the canonical comparable form. Compare diffs two reports into per-
+// case deltas; Regressions applies the gate threshold that `dtnbench
+// -baseline` turns into a nonzero exit.
+//
+// PERFORMANCE.md documents the performance model the suite exercises, the
+// BENCH_<n>.json conventions, and the regression-gate policy.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Case is one benchmark workload: a named, deterministic simulation run (or
+// sweep of runs) whose digest must be reproducible bit-for-bit.
+type Case struct {
+	// Name identifies the case in reports and -cases filters.
+	Name string
+	// Desc is the one-line description printed by -list.
+	Desc string
+	// Run executes the workload once and returns its deterministic digest.
+	Run func() (Sim, error)
+}
+
+// Sim is the deterministic digest of one case execution: how much work the
+// simulation did and what it computed. Every field must be identical across
+// iterations, runs, and machines for a given source tree — this is the
+// byte-stability contract of BENCH_<n>.json.
+type Sim struct {
+	// Runs is the number of world executions the case performed (1 for
+	// single-scenario cases, policies × points × seeds for sweeps).
+	Runs int `json:"runs"`
+	// Events is the total number of engine events dispatched across runs.
+	Events uint64 `json:"events"`
+	// PeakQueue is the deepest pending-event queue across runs.
+	PeakQueue int `json:"peak_queue"`
+	// Created / Delivered / PolicyDrops / Contacts are the summed headline
+	// counters across runs.
+	Created     int `json:"created"`
+	Delivered   int `json:"delivered"`
+	PolicyDrops int `json:"policy_drops"`
+	Contacts    int `json:"contacts"`
+	// Fingerprint is an FNV-64a hash over the case's observable results
+	// (metric bit patterns), hex-encoded. Two trees that disagree on any
+	// simulated outcome disagree here.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Perf is the measured (non-deterministic) half of a case result. These are
+// the "timing fields" excluded from byte-stability comparisons.
+type Perf struct {
+	// Iters is how many times the case was executed for this measurement.
+	Iters int `json:"iters"`
+	// NsPerOp is the minimum wall time of one execution, in nanoseconds —
+	// the least-noise estimate of the workload's cost.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are the minimum heap allocation count and
+	// byte volume of one execution.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// WallSeconds is the total wall time spent across all iterations.
+	WallSeconds float64 `json:"wall_seconds"`
+	// EventsPerSec is the engine event throughput of the fastest iteration.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// CaseResult pairs a case's deterministic digest with its measurement.
+type CaseResult struct {
+	Name string `json:"name"`
+	Sim  Sim    `json:"sim"`
+	Perf Perf   `json:"perf"`
+}
+
+// Config tunes a suite run.
+type Config struct {
+	// Iters is the number of measured executions per case (default 3;
+	// minimum 2 so the determinism assertion has something to compare).
+	Iters int
+	// Cases filters the suite by name; empty runs every case.
+	Cases []string
+	// Progress, when set, receives a line per case as it starts.
+	Progress func(msg string)
+}
+
+// RunSuite executes the (filtered) suite and assembles a Report. A case
+// whose Sim digest differs between iterations aborts the whole run with an
+// error: a non-deterministic simulator cannot be benchmarked, only fixed.
+func RunSuite(cfg Config) (*Report, error) {
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 3
+	}
+	if iters < 2 {
+		iters = 2
+	}
+	cases, err := filterCases(Suite(), cfg.Cases)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:    SchemaVersion,
+		Suite:     SuiteVersion,
+		GoVersion: runtime.Version(),
+	}
+	for _, c := range cases {
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("case %s (%d iters)", c.Name, iters))
+		}
+		sim, perf, err := Measure(c, iters)
+		if err != nil {
+			return nil, fmt.Errorf("bench: case %s: %w", c.Name, err)
+		}
+		rep.Cases = append(rep.Cases, CaseResult{Name: c.Name, Sim: sim, Perf: perf})
+	}
+	sort.Slice(rep.Cases, func(i, j int) bool { return rep.Cases[i].Name < rep.Cases[j].Name })
+	return rep, nil
+}
+
+// filterCases resolves the -cases selection against the suite, rejecting
+// unknown names so a typo cannot silently pass an empty gate.
+func filterCases(all []Case, names []string) ([]Case, error) {
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Case, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	out := make([]Case, 0, len(names))
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown case %q (use -list)", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Measure executes c iters times, asserting the Sim digest is identical on
+// every iteration, and returns the digest plus the aggregated measurement.
+// Minimums (not means) are reported for ns/op and allocs/op: the fastest,
+// leanest iteration is the closest observation of the workload's true cost.
+func Measure(c Case, iters int) (Sim, Perf, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	var sim Sim
+	perf := Perf{Iters: iters, NsPerOp: math.MaxInt64, AllocsPerOp: math.MaxInt64, BytesPerOp: math.MaxInt64}
+	for i := 0; i < iters; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		s, err := c.Run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return Sim{}, Perf{}, err
+		}
+		if i == 0 {
+			sim = s
+		} else if s != sim {
+			return Sim{}, Perf{}, fmt.Errorf("non-deterministic digest: iter 1 %+v, iter %d %+v", sim, i+1, s)
+		}
+		perf.WallSeconds += elapsed.Seconds()
+		if ns := elapsed.Nanoseconds(); ns < perf.NsPerOp {
+			perf.NsPerOp = ns
+		}
+		if allocs := int64(after.Mallocs - before.Mallocs); allocs < perf.AllocsPerOp {
+			perf.AllocsPerOp = allocs
+		}
+		if bytes := int64(after.TotalAlloc - before.TotalAlloc); bytes < perf.BytesPerOp {
+			perf.BytesPerOp = bytes
+		}
+	}
+	if perf.NsPerOp > 0 {
+		perf.EventsPerSec = float64(sim.Events) / (float64(perf.NsPerOp) / 1e9)
+	}
+	return sim, perf, nil
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeSim builds a distinct digest for table-driven tests.
+func fakeSim(events uint64) Sim {
+	return Sim{Runs: 1, Events: events, Created: 10, Delivered: 5, Fingerprint: "feed"}
+}
+
+func TestMeasureAssertsDeterminism(t *testing.T) {
+	calls := 0
+	flaky := Case{Name: "flaky", Run: func() (Sim, error) {
+		calls++
+		return fakeSim(uint64(calls)), nil
+	}}
+	if _, _, err := Measure(flaky, 3); err == nil {
+		t.Fatal("want error for a digest that varies between iterations")
+	}
+
+	stable := Case{Name: "stable", Run: func() (Sim, error) { return fakeSim(7), nil }}
+	sim, perf, err := Measure(stable, 3)
+	if err != nil {
+		t.Fatalf("stable case: %v", err)
+	}
+	if sim != fakeSim(7) {
+		t.Fatalf("digest = %+v", sim)
+	}
+	if perf.Iters != 3 || perf.NsPerOp < 0 || perf.WallSeconds <= 0 {
+		t.Fatalf("perf = %+v", perf)
+	}
+}
+
+func TestMeasurePropagatesRunError(t *testing.T) {
+	boom := errors.New("boom")
+	c := Case{Name: "err", Run: func() (Sim, error) { return Sim{}, boom }}
+	if _, _, err := Measure(c, 2); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestFilterCasesRejectsUnknownNames(t *testing.T) {
+	if _, err := filterCases(Suite(), []string{"no-such-case"}); err == nil {
+		t.Fatal("want error for unknown case name")
+	}
+	got, err := filterCases(Suite(), []string{"table2", "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "table2" || got[1].Name != "smoke" {
+		t.Fatalf("filtered = %v", got)
+	}
+}
+
+func TestSuiteNamesUniqueAndDescribed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Suite() {
+		if c.Name == "" || c.Desc == "" || c.Run == nil {
+			t.Fatalf("incomplete case %+v", c)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+// TestReportByteStable checks the serialization contract: marshaling is a
+// pure function of the report value, perf-stripping zeroes exactly the
+// timing fields, and a round trip through disk preserves everything.
+func TestReportByteStable(t *testing.T) {
+	rep := &Report{
+		Schema:    SchemaVersion,
+		Suite:     SuiteVersion,
+		GoVersion: "go0.test",
+		Cases: []CaseResult{
+			{Name: "a", Sim: fakeSim(1), Perf: Perf{Iters: 2, NsPerOp: 100}},
+			{Name: "b", Sim: fakeSim(2), Perf: Perf{Iters: 2, NsPerOp: 200}},
+		},
+	}
+	one, err := rep.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := rep.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatal("MarshalStable is not byte-stable")
+	}
+
+	stripped := rep.ClonePerfStripped()
+	if stripped.Cases[0].Perf != (Perf{}) || stripped.Cases[1].Perf != (Perf{}) {
+		t.Fatal("ClonePerfStripped left perf data behind")
+	}
+	if rep.Cases[0].Perf.NsPerOp != 100 {
+		t.Fatal("ClonePerfStripped mutated the original")
+	}
+	if stripped.Cases[0].Sim != rep.Cases[0].Sim {
+		t.Fatal("ClonePerfStripped altered the sim digest")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := back.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, three) {
+		t.Fatal("disk round trip changed the report bytes")
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	rep := &Report{Schema: SchemaVersion + 1, Suite: SuiteVersion}
+	path := filepath.Join(t.TempDir(), "future.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("want schema-version error")
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	base := &Report{Cases: []CaseResult{
+		{Name: "fast", Sim: fakeSim(1), Perf: Perf{NsPerOp: 1000, AllocsPerOp: 100}},
+		{Name: "same", Sim: fakeSim(2), Perf: Perf{NsPerOp: 1000, AllocsPerOp: 100}},
+		{Name: "gone", Sim: fakeSim(3), Perf: Perf{NsPerOp: 1000}},
+		{Name: "drift", Sim: fakeSim(4), Perf: Perf{NsPerOp: 1000}},
+	}}
+	cur := &Report{Cases: []CaseResult{
+		{Name: "fast", Sim: fakeSim(1), Perf: Perf{NsPerOp: 1500, AllocsPerOp: 50}},
+		{Name: "same", Sim: fakeSim(2), Perf: Perf{NsPerOp: 1005, AllocsPerOp: 100}},
+		{Name: "drift", Sim: fakeSim(99), Perf: Perf{NsPerOp: 900}},
+		{Name: "fresh", Sim: fakeSim(5), Perf: Perf{NsPerOp: 10}},
+	}}
+
+	deltas := Compare(base, cur)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["fast"]; d.NsPct != 50 || d.AllocPct != -50 {
+		t.Fatalf("fast delta = %+v", d)
+	}
+	if !byName["gone"].Missing {
+		t.Fatal("gone should be Missing")
+	}
+	if !byName["drift"].SimChanged {
+		t.Fatal("drift should flag SimChanged")
+	}
+	if !byName["fresh"].New {
+		t.Fatal("fresh should be New")
+	}
+
+	regs := Regressions(deltas, 10)
+	names := map[string]bool{}
+	for _, d := range regs {
+		names[d.Name] = true
+	}
+	// fast regressed 50% > 10%; gone vanished; drift changed digests.
+	// same (+0.5%) passes; fresh is new and cannot regress.
+	for _, want := range []string{"fast", "gone", "drift"} {
+		if !names[want] {
+			t.Fatalf("regressions missing %q: %v", want, regs)
+		}
+	}
+	if names["same"] || names["fresh"] {
+		t.Fatalf("false positives in %v", regs)
+	}
+
+	text := FormatDeltas(deltas, 10)
+	for _, want := range []string{"REGRESSION", "MISSING", "SIM DIGEST CHANGED", "new case"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("delta report lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSmokeCaseMatchesGoldenCounters ties the suite's smoke case to the
+// golden-trace fixture scenario: same event count, creations, deliveries.
+func TestSmokeCaseMatchesGoldenCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full smoke simulation")
+	}
+	cases, err := filterCases(Suite(), []string{"smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _, err := Measure(cases[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Runs != 1 || sim.Events != 3287 || sim.Created != 80 || sim.Delivered != 57 {
+		t.Fatalf("smoke digest drifted from the golden scenario: %+v", sim)
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is one case's baseline-to-current comparison.
+type Delta struct {
+	Name string
+	// Base / Cur are the two measurements (Base zero-valued when the case
+	// is new, Cur zero-valued when it disappeared).
+	Base, Cur Perf
+	// NsPct / AllocPct are the relative changes in ns/op and allocs/op,
+	// in percent; positive means the current run is slower / allocates more.
+	NsPct, AllocPct float64
+	// SimChanged marks a digest mismatch: the two runs did not simulate the
+	// same thing, so the perf numbers are not comparable.
+	SimChanged bool
+	// Missing / New flag cases present in only one report.
+	Missing, New bool
+}
+
+// Compare diffs cur against base, case by case in cur's (sorted) order;
+// baseline-only cases are appended as Missing.
+func Compare(base, cur *Report) []Delta {
+	var out []Delta
+	for _, c := range cur.Cases {
+		d := Delta{Name: c.Name, Cur: c.Perf}
+		if b := base.Case(c.Name); b == nil {
+			d.New = true
+		} else {
+			d.Base = b.Perf
+			d.SimChanged = b.Sim != c.Sim
+			d.NsPct = pctChange(float64(b.Perf.NsPerOp), float64(c.Perf.NsPerOp))
+			d.AllocPct = pctChange(float64(b.Perf.AllocsPerOp), float64(c.Perf.AllocsPerOp))
+		}
+		out = append(out, d)
+	}
+	for _, b := range base.Cases {
+		if cur.Case(b.Name) == nil {
+			out = append(out, Delta{Name: b.Name, Base: b.Perf, Missing: true})
+		}
+	}
+	return out
+}
+
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// Regressions filters deltas to the ones that should fail the gate: ns/op
+// regressions beyond maxPct, and structural problems (digest changes,
+// vanished cases) that make the comparison itself unsound. Allocation
+// growth alone does not gate — it shows in the report but only costs wall
+// time indirectly, and ns/op already captures that.
+func Regressions(deltas []Delta, maxPct float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		switch {
+		case d.New:
+			// New cases have no baseline to regress against.
+		case d.Missing, d.SimChanged:
+			out = append(out, d)
+		case d.NsPct > maxPct:
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders the human-readable delta report: one aligned row per
+// case with ns/op, allocs/op, and events/sec movements.
+func FormatDeltas(deltas []Delta, maxPct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %14s %14s %8s %14s %14s %8s  %s\n",
+		"case", "base ns/op", "cur ns/op", "Δns", "base allocs", "cur allocs", "Δallocs", "note")
+	for _, d := range deltas {
+		note := ""
+		switch {
+		case d.New:
+			note = "new case (no baseline)"
+		case d.Missing:
+			note = "MISSING from current run"
+		case d.SimChanged:
+			note = "SIM DIGEST CHANGED — perf delta not comparable"
+		case d.NsPct > maxPct:
+			note = fmt.Sprintf("REGRESSION (> %+.1f%%)", maxPct)
+		case d.NsPct < -maxPct:
+			note = "improvement"
+		}
+		fmt.Fprintf(&b, "%-18s %14d %14d %7.1f%% %14d %14d %7.1f%%  %s\n",
+			d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.NsPct,
+			d.Base.AllocsPerOp, d.Cur.AllocsPerOp, d.AllocPct, note)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdsrp/internal/obs"
+	"sdsrp/internal/world"
+)
+
+// TestGoldenTraceByteIdentical proves the optimized hot paths did not change
+// simulation behaviour: a traced run of the smoke scenario must be
+// byte-identical to testdata/golden_trace.jsonl, which was captured from the
+// tree BEFORE the event-pool, policy-ordering, estimate-memo, and scan-reuse
+// optimizations landed. Any divergence in event order, timing, RNG draws, or
+// metric values shows up here as the first differing line.
+func TestGoldenTraceByteIdentical(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatalf("read golden fixture: %v", err)
+	}
+
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	w, err := world.Build(SmokeScenario(), world.WithTracer(jsonl))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	got := buf.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("trace diverges from golden fixture at line %d:\n  golden:  %s\n  current: %s",
+				i+1, wantLines[i], gotLines[i])
+		}
+	}
+	t.Fatalf("trace length changed: golden %d lines, current %d lines", len(wantLines), len(gotLines))
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is the BENCH_<n>.json format version.
+const SchemaVersion = 1
+
+// Report is one suite run, as serialized to BENCH_<n>.json. All fields are
+// structs and slices (no maps), so encoding/json emits them in declaration
+// order and the file is byte-stable: two runs of the same tree differ only
+// inside the Perf blocks.
+type Report struct {
+	// Schema is the file-format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Suite is the suite-definition tag (SuiteVersion); reports with
+	// different tags measured different workloads.
+	Suite string `json:"suite"`
+	// GoVersion records the toolchain the run was built with.
+	GoVersion string `json:"go_version"`
+	// Cases holds one entry per executed case, sorted by name.
+	Cases []CaseResult `json:"cases"`
+}
+
+// Case returns the named case result, or nil.
+func (r *Report) Case(name string) *CaseResult {
+	for i := range r.Cases {
+		if r.Cases[i].Name == name {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+// ClonePerfStripped returns a deep copy with every Perf block zeroed — the
+// canonical form for byte-stability comparisons ("identical modulo timing
+// fields").
+func (r *Report) ClonePerfStripped() *Report {
+	out := *r
+	out.Cases = make([]CaseResult, len(r.Cases))
+	copy(out.Cases, r.Cases)
+	for i := range out.Cases {
+		out.Cases[i].Perf = Perf{}
+	}
+	return &out
+}
+
+// WriteJSON serializes the report with stable two-space indentation and a
+// trailing newline. Output bytes are a pure function of the report value.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// MarshalStable returns the exact bytes WriteJSON would emit.
+func (r *Report) MarshalStable() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile writes the report to path (0644), replacing any existing file.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.MarshalStable()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a BENCH_<n>.json, rejecting unknown schema versions so a
+// format change cannot be silently misread as a regression.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, this tool reads %d", path, rep.Schema, SchemaVersion)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/experiment"
+	"sdsrp/internal/report"
+	"sdsrp/internal/world"
+)
+
+// SuiteVersion tags the suite definition embedded in a report. Bump it when
+// cases are added, removed, or change parameters, so a delta report can
+// refuse to compare measurements of different workloads.
+const SuiteVersion = "v1"
+
+// BenchOptions is the shared reduced scale for sweep cases — identical to
+// the root `go test -bench` targets (bench_test.go), so dtnbench and the
+// testing.B benchmarks measure the same workloads and cannot drift apart.
+// Workers is 1 because the harness measures simulation cost, not scheduling.
+func BenchOptions() experiment.Options {
+	return experiment.Options{
+		Scale:   0.05, // 900 simulated seconds
+		Nodes:   20,
+		Workers: 1,
+		Seeds:   []uint64{1},
+	}
+}
+
+// SmokeScenario is the seconds-scale workload behind the "smoke" case, the
+// golden-determinism fixture (testdata/golden_trace.jsonl), and `dtnbench
+// -smoke`: a 16-node random-waypoint run small enough for CI yet busy
+// enough (tight buffers, short TTL) to exercise eviction, expiry, and the
+// full SDSRP priority path.
+func SmokeScenario() config.Scenario {
+	sc := config.RandomWaypoint()
+	sc.Name = "bench-golden"
+	sc.Nodes = 16
+	sc.Duration = 2400
+	sc.TTL = 900
+	sc.Area.Max.X = 700
+	sc.Area.Max.Y = 700
+	sc.MessageSize = 100 * 1000
+	sc.MessageSizeHi = 0
+	sc.BufferBytes = 300 * 1000
+	sc.PolicyName = "SDSRP"
+	sc.Seed = 11
+	return sc
+}
+
+// Suite returns the fixed benchmark suite, in definition order. Names are
+// stable identifiers: reports key on them, and -cases filters by them.
+func Suite() []Case {
+	return []Case{
+		scenarioCase("smoke", "16-node RWP smoke run (seconds-scale, golden-trace scenario)", SmokeScenario),
+		scenarioCase("table2", "full Table II baseline: 100-node RWP, 18000 s, SDSRP", config.RandomWaypoint),
+		scenarioCase("table3", "full Table III: 200-taxi EPFL substitute, 18000 s, SDSRP", config.EPFL),
+		experimentCase("fig8copies", "Fig. 8 a-c sweep: metrics vs initial copies (reduced scale)"),
+		experimentCase("fig8buffer", "Fig. 8 d-f sweep: metrics vs buffer size (reduced scale)"),
+		experimentCase("fig8rate", "Fig. 8 g-i sweep: metrics vs generation rate (reduced scale)"),
+		experimentCase("resilience-churn", "resilience sweep: metrics vs node crash/reboot churn (reduced scale)"),
+	}
+}
+
+// scenarioCase wraps a single full-parameter scenario run.
+func scenarioCase(name, desc string, gen func() config.Scenario) Case {
+	return Case{Name: name, Desc: desc, Run: func() (Sim, error) {
+		wld, err := world.Build(gen())
+		if err != nil {
+			return Sim{}, err
+		}
+		res, err := wld.Run()
+		if err != nil {
+			return Sim{}, err
+		}
+		var d digest
+		d.add(res)
+		h := fnv.New64a()
+		hashResult(h, res)
+		return d.sim(h), nil
+	}}
+}
+
+// experimentCase wraps a registered experiment sweep at BenchOptions scale.
+// Engine counters are accumulated commutatively over the OnResult hook, and
+// the fingerprint hashes the rendered panels, so the digest is independent
+// of result arrival order.
+func experimentCase(name, desc string) Case {
+	return Case{Name: name, Desc: desc, Run: func() (Sim, error) {
+		spec, ok := experiment.ByName(name)
+		if !ok {
+			return Sim{}, fmt.Errorf("experiment %q not registered", name)
+		}
+		var (
+			mu sync.Mutex
+			d  digest
+		)
+		o := BenchOptions()
+		o.OnResult = func(r world.Result) {
+			mu.Lock()
+			d.add(r)
+			mu.Unlock()
+		}
+		panels, err := spec.Run(o)
+		if err != nil {
+			return Sim{}, err
+		}
+		if len(panels) == 0 {
+			return Sim{}, fmt.Errorf("experiment %q produced no panels", name)
+		}
+		h := fnv.New64a()
+		hashPanels(h, panels)
+		return d.sim(h), nil
+	}}
+}
+
+// digest accumulates per-run engine counters into a Sim. All operations are
+// commutative (sums and maxima), so the result does not depend on the order
+// runs finish in.
+type digest struct {
+	runs        int
+	events      uint64
+	peakQueue   int
+	created     int
+	delivered   int
+	policyDrops int
+	contacts    int
+}
+
+func (d *digest) add(r world.Result) {
+	d.runs++
+	d.events += r.Perf.Events
+	if r.Perf.PeakQueue > d.peakQueue {
+		d.peakQueue = r.Perf.PeakQueue
+	}
+	d.created += r.Summary.Created
+	d.delivered += r.Summary.Delivered
+	d.policyDrops += r.Summary.PolicyDrops
+	d.contacts += r.Contacts
+}
+
+func (d *digest) sim(h hash.Hash64) Sim {
+	return Sim{
+		Runs:        d.runs,
+		Events:      d.events,
+		PeakQueue:   d.peakQueue,
+		Created:     d.created,
+		Delivered:   d.delivered,
+		PolicyDrops: d.policyDrops,
+		Contacts:    d.contacts,
+		Fingerprint: fmt.Sprintf("%016x", h.Sum64()),
+	}
+}
+
+// hashU64 / hashF64 feed fixed-width big-endian words into the fingerprint.
+// Floats hash by bit pattern: two runs agree on the fingerprint iff they
+// agree on every bit of every metric.
+func hashU64(h hash.Hash64, v uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func hashF64(h hash.Hash64, v float64) { hashU64(h, math.Float64bits(v)) }
+
+func hashStr(h hash.Hash64, s string) {
+	hashU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+// hashResult fingerprints one run's observable outcome: the full stats
+// summary plus contact counts and durations.
+func hashResult(h hash.Hash64, r world.Result) {
+	s := r.Summary
+	for _, v := range []int{
+		s.Created, s.Delivered, s.Forwards, s.Started, s.Aborted, s.Refused,
+		s.Lost, s.PolicyDrops, s.ExpiredDrops, s.AckPurges, s.Duplicates,
+	} {
+		hashU64(h, uint64(int64(v)))
+	}
+	for _, v := range []float64{
+		s.DeliveryRatio, s.AvgHops, s.OverheadRatio,
+		s.AvgLatency, s.MedianLatency, s.P95Latency,
+	} {
+		hashF64(h, v)
+	}
+	hashU64(h, uint64(int64(r.Contacts)))
+	hashF64(h, r.MeanContactDuration)
+}
+
+// hashPanels fingerprints a sweep's rendered output: every panel, curve
+// label, and metric value in presentation order.
+func hashPanels(h hash.Hash64, panels []report.Panel) {
+	for _, p := range panels {
+		hashStr(h, p.ID)
+		for _, x := range p.X {
+			hashF64(h, x)
+		}
+		for _, c := range p.Curves {
+			hashStr(h, c.Label)
+			for _, y := range c.Y {
+				hashF64(h, y)
+			}
+		}
+	}
+}

@@ -4,6 +4,17 @@
 // is a policy decision made by internal/policy and executed by the router.
 // Iteration order is insertion order (FIFO), which the FIFO policy relies
 // on directly.
+//
+// # Performance contract
+//
+// Items returns the live backing slice (not a copy) in insertion order;
+// callers must not mutate it and must not hold it across an Add or Remove.
+// internal/policy's Orderer copies it into its own scratch space before
+// sorting for exactly this reason. Lookups (Has/Get) go through a
+// by-ID map, so membership checks on the transfer hot path are O(1);
+// Remove compacts the slice in place, preserving order, at O(n) — overflow
+// evictions are rare relative to lookups. Byte accounting (Used/Free) is
+// maintained incrementally and costs O(1).
 package buffer
 
 import (

@@ -5,6 +5,16 @@
 // deliberately not safe for concurrent use: a simulation run is single
 // threaded by design (see internal/sim), and keeping the queue lock-free
 // keeps Push/Pop on the hot path allocation- and contention-free.
+//
+// # Performance contract
+//
+// The heap is backed by a single slice that only grows: Pop shrinks the
+// length but keeps the capacity, and zeroes the vacated slot so the element
+// (typically a pointer) is released to the GC. Once the backing array has
+// reached the run's peak queue depth, Push and Pop allocate nothing —
+// internal/sim layers an event free-list on top (recycling dispatched event
+// structs), which together make steady-state scheduling fully
+// allocation-free. Push/Pop are O(log n); Peek and Len are O(1).
 package eventq
 
 // Queue is a binary min-heap of T ordered by the less function supplied to

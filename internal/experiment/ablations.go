@@ -37,7 +37,7 @@ func ablationSweep(id, title string, base config.Scenario, variants []variant, o
 			}
 		}
 	}
-	results, err := RunTimed(scs, o.Workers, o.progress())
+	results, err := o.runBatch(scs)
 	if err != nil {
 		return nil, err
 	}

@@ -90,7 +90,7 @@ func runSweep(base config.Scenario, sw sweep, o Options) ([]report.Panel, error)
 			}
 		}
 	}
-	results, err := RunTimed(scs, o.Workers, o.progress())
+	results, err := o.runBatch(scs)
 	if err != nil {
 		return nil, err
 	}

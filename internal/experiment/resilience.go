@@ -33,7 +33,7 @@ func resilienceSweep(id, title, xlabel string, x []float64, ticks []string,
 			}
 		}
 	}
-	results, err := RunTimed(scs, o.Workers, o.progress())
+	results, err := o.runBatch(scs)
 	if err != nil {
 		return nil, err
 	}

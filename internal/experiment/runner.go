@@ -41,6 +41,11 @@ type Options struct {
 	// (wall-clock elapsed, ETA, per-run timing) after each finished run.
 	// Both callbacks may fire concurrently from worker goroutines.
 	ProgressStats func(ProgressInfo)
+	// OnResult, when set, receives every finished run's Result (including
+	// its Perf engine counters). Used by the benchmark harness to aggregate
+	// engine-level work across a sweep. May fire concurrently from worker
+	// goroutines; callbacks must be safe for that (or run with Workers: 1).
+	OnResult func(world.Result)
 }
 
 // ProgressInfo describes batch progress after one run finished.
@@ -90,6 +95,16 @@ func (o Options) progress() func(ProgressInfo) {
 			o.ProgressStats(p)
 		}
 	}
+}
+
+// Rescale applies the options' Scale and Nodes reductions to a preset
+// scenario exactly like the experiment sweeps do (duration and TTL scale
+// together; synthetic areas shrink to preserve node density). Exported so
+// external harnesses — internal/bench and the root `go test -bench`
+// targets — derive reduced-scale scenarios from the same rule and cannot
+// drift from the sweeps.
+func (o Options) Rescale(sc config.Scenario) config.Scenario {
+	return o.withDefaults().apply(sc)
 }
 
 // apply rescales a preset scenario per the options.
@@ -143,6 +158,16 @@ func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]
 // duration of the run that just completed. The callback may fire
 // concurrently from worker goroutines.
 func RunTimed(scs []config.Scenario, workers int, progress func(ProgressInfo)) ([]world.Result, error) {
+	return runTimed(scs, workers, progress, nil)
+}
+
+// runBatch executes scs under the options' worker count, progress
+// callbacks, and per-result hook — the entry point every sweep uses.
+func (o Options) runBatch(scs []config.Scenario) ([]world.Result, error) {
+	return runTimed(scs, o.Workers, o.progress(), o.OnResult)
+}
+
+func runTimed(scs []config.Scenario, workers int, progress func(ProgressInfo), onResult func(world.Result)) ([]world.Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -166,6 +191,9 @@ func RunTimed(scs []config.Scenario, workers int, progress func(ProgressInfo)) (
 					errs[i] = err
 				} else {
 					results[i], errs[i] = wld.Run()
+				}
+				if onResult != nil && errs[i] == nil {
+					onResult(results[i])
 				}
 				if progress != nil {
 					d := int(done.Add(1))

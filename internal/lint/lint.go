@@ -90,6 +90,7 @@ func DefaultConfig() Config {
 		WallclockAllow: []string{
 			"internal/sim/sim.go",           // engine wall-clock perf counter
 			"internal/experiment/runner.go", // batch ETA accounting
+			"internal/bench",                // benchmark harness measurement
 			"cmd",                           // CLI progress and timing output
 		},
 		RNGExempt:    []string{"internal/rng"},

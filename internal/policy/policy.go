@@ -12,6 +12,17 @@
 //
 // Additional strategies (Random, MOFO, LIFO, OracleUtility, SDSRP-Taylor)
 // support the ablations listed in DESIGN.md §8.
+//
+// # Performance contract
+//
+// Ordering happens on every contact (send scheduling) and on every buffer
+// overflow (eviction planning), which makes it a simulator hot path: see
+// PERFORMANCE.md. Hot callers hold an Orderer — a reusable scratch space for
+// the (message, score) ranking — so steady-state ordering is allocation-free.
+// Scores are always computed in input order before sorting, and ties always
+// break on ascending message ID, so the reusable path draws RNG and ranks
+// byte-identically to the throwaway SendOrder/PlanEviction convenience
+// functions.
 package policy
 
 import (
@@ -53,24 +64,77 @@ type Policy interface {
 	DropScore(v View, s *msg.Stored) float64
 }
 
-// SendOrder returns the buffered copies sorted into transmission order
-// (first element = next to send). The sort is deterministic: ties break on
-// message ID. The input slice is not modified.
-func SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
-	out := append([]*msg.Stored(nil), items...)
-	scores := make(map[msg.ID]float64, len(out))
-	for _, s := range out {
-		scores[s.M.ID] = p.SendScore(v, s)
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		si, sj := scores[out[i].M.ID], scores[out[j].M.ID]
-		//lint:ignore float-eq bitwise tie-break: only exactly equal scores fall through to the ID order
-		if si != sj {
+// Orderer computes send and eviction orders using reusable scratch buffers,
+// so a host's per-contact scheduling is allocation-free at steady state.
+// Slices returned by its methods alias the scratch space and are valid only
+// until the next call on the same Orderer; each host owns one and uses the
+// results within a single event. The zero value is ready to use. Not safe
+// for concurrent use.
+type Orderer struct {
+	send    ranking
+	evict   ranking
+	victims []*msg.Stored
+}
+
+// ranking is a sortable (message, score) column pair. Holding it as an
+// addressable field lets sort.Stable take an interface value without
+// allocating a closure per call.
+type ranking struct {
+	items  []*msg.Stored
+	scores []float64
+	// desc selects descending score order (send ranking); ascending is the
+	// eviction ranking. Ties always break on ascending message ID.
+	desc bool
+}
+
+func (r *ranking) Len() int { return len(r.items) }
+
+func (r *ranking) Less(i, j int) bool {
+	si, sj := r.scores[i], r.scores[j]
+	//lint:ignore float-eq bitwise tie-break: only exactly equal scores fall through to the ID order
+	if si != sj {
+		if r.desc {
 			return si > sj
 		}
-		return out[i].M.ID < out[j].M.ID
-	})
-	return out
+		return si < sj
+	}
+	return r.items[i].M.ID < r.items[j].M.ID
+}
+
+func (r *ranking) Swap(i, j int) {
+	r.items[i], r.items[j] = r.items[j], r.items[i]
+	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+}
+
+// rank loads the items and their scores (computed in input order, which
+// matters for stateful policies like Random) and sorts them.
+func (r *ranking) rank(p Policy, v View, items []*msg.Stored, score func(Policy, View, *msg.Stored) float64) {
+	r.items = append(r.items[:0], items...)
+	r.scores = r.scores[:0]
+	for _, s := range items {
+		r.scores = append(r.scores, score(p, v, s))
+	}
+	sort.Stable(r)
+}
+
+func sendScore(p Policy, v View, s *msg.Stored) float64 { return p.SendScore(v, s) }
+func dropScore(p Policy, v View, s *msg.Stored) float64 { return p.DropScore(v, s) }
+
+// SendOrder returns the buffered copies sorted into transmission order
+// (first element = next to send). The sort is deterministic: ties break on
+// message ID. The input slice is not modified; the returned slice is
+// scratch space valid until the next call.
+func (o *Orderer) SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
+	o.send.desc = true
+	o.send.rank(p, v, items, sendScore)
+	return o.send.items
+}
+
+// SendOrder is the convenience form using a throwaway Orderer. Hot paths
+// hold an Orderer and call its method instead.
+func SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
+	var o Orderer
+	return o.SendOrder(p, v, items)
 }
 
 // PlanEviction decides whether incoming can be stored in buf, evicting
@@ -80,7 +144,7 @@ func SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
 // newcomer is the weakest, reject it; otherwise evict the weakest and
 // retry. Victims are returned in eviction order; accept reports whether
 // incoming fits after those evictions. buf is not modified.
-func PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (victims []*msg.Stored, accept bool) {
+func (o *Orderer) PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (victims []*msg.Stored, accept bool) {
 	if incoming.M.Size > buf.Capacity() {
 		return nil, false
 	}
@@ -88,35 +152,30 @@ func PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (v
 	if incoming.M.Size <= free {
 		return nil, true
 	}
-	type scored struct {
-		s     *msg.Stored
-		score float64
-	}
-	cands := make([]scored, 0, buf.Len())
-	for _, s := range buf.Items() {
-		cands = append(cands, scored{s, p.DropScore(v, s)})
-	}
 	// Ascending score: weakest first; ties break on ID for determinism.
-	sort.SliceStable(cands, func(i, j int) bool {
-		//lint:ignore float-eq bitwise tie-break: only exactly equal scores fall through to the ID order
-		if cands[i].score != cands[j].score {
-			return cands[i].score < cands[j].score
-		}
-		return cands[i].s.M.ID < cands[j].s.M.ID
-	})
+	o.evict.desc = false
+	o.evict.rank(p, v, buf.Items(), dropScore)
 	inScore := p.DropScore(v, incoming)
-	for _, c := range cands {
+	victims = o.victims[:0]
+	for i, s := range o.evict.items {
 		if free >= incoming.M.Size {
 			break
 		}
-		if !weakerThanIncoming(c.score, inScore, c.s.M.ID, incoming.M.ID) {
+		if !weakerThanIncoming(o.evict.scores[i], inScore, s.M.ID, incoming.M.ID) {
 			// The weakest survivor outranks the newcomer: reject.
 			return nil, false
 		}
-		victims = append(victims, c.s)
-		free += c.s.M.Size
+		victims = append(victims, s)
+		free += s.M.Size
 	}
+	o.victims = victims
 	return victims, free >= incoming.M.Size
+}
+
+// PlanEviction is the convenience form using a throwaway Orderer.
+func PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) ([]*msg.Stored, bool) {
+	var o Orderer
+	return o.PlanEviction(p, v, buf, incoming)
 }
 
 // weakerThanIncoming applies the same ordering as the eviction sort, so the

@@ -77,6 +77,9 @@ type Host struct {
 	buf   *buffer.Buffer
 	pol   policy.Policy
 	proto Protocol
+	// ord holds the policy-ordering scratch buffers, making per-contact
+	// scheduling and eviction planning allocation-free at steady state.
+	ord policy.Orderer
 
 	rate      core.RateSource
 	rateObs   core.ContactObserver // nil when rate is a fixed oracle
@@ -91,6 +94,13 @@ type Host struct {
 	oracle    Oracle
 	tracer    obs.Tracer
 	role      fault.Role
+
+	// seenMemo caches the Eq. 15 lineage estimate per stored copy. The
+	// estimator walks the whole spray lineage, and a single contact scores
+	// every buffered copy several times (send order, eviction plans, both
+	// Eq. 10 terms) at one instant with unchanged inputs — see seenFor for
+	// the keying argument.
+	seenMemo map[*msg.Stored]seenEntry
 
 	// received marks messages this host has consumed as their destination.
 	received map[msg.ID]bool
@@ -121,6 +131,7 @@ func NewHost(cfg HostConfig) *Host {
 		oracle:      cfg.Oracle,
 		tracer:      cfg.Tracer,
 		role:        cfg.Role,
+		seenMemo:    make(map[*msg.Stored]seenEntry),
 		received:    make(map[msg.ID]bool),
 		lastContact: make(map[int]float64),
 	}
@@ -194,9 +205,46 @@ func (h *Host) EIMin() float64 {
 	return h.rate.EIMin(h.nodes)
 }
 
+// seenEntry caches one EstimateSeen result together with the inputs that
+// produced it.
+type seenEntry struct {
+	now, eimin float64
+	copies     int
+	sprayLen   int
+	seen       int
+}
+
+// seenFor returns EstimateSeen(s, now) through the per-host memo.
+//
+// The cache is sound because EstimateSeen is a pure function of
+// (SprayTimes, Copies, now, EIMin, nodes) and the key pins all of them:
+// nodes is constant for the host, SprayTimes is append-only (its length
+// determines its content for a given copy), and Copies plus the clock and
+// rate estimate are compared directly. A hit therefore has bit-identical
+// inputs and returns the bit-identical answer — the memo cannot change
+// simulation behaviour, only skip the lineage walk.
+func (h *Host) seenFor(s *msg.Stored) int {
+	now, eimin := h.clock(), h.EIMin()
+	if e, ok := h.seenMemo[s]; ok &&
+		e.now == now && e.eimin == eimin &&
+		e.copies == s.Copies && e.sprayLen == len(s.SprayTimes) {
+		return e.seen
+	}
+	seen := core.EstimateSeen(s.SprayTimes, s.Copies, now, eimin, h.nodes)
+	// The memo is only a cache: when stale entries (dropped copies,
+	// transient phantoms) accumulate past a small multiple of the buffer
+	// population, discard it wholesale rather than tracking lifetimes.
+	if len(h.seenMemo) > 2*h.buf.Len()+64 {
+		clear(h.seenMemo)
+	}
+	h.seenMemo[s] = seenEntry{now: now, eimin: eimin, copies: s.Copies,
+		sprayLen: len(s.SprayTimes), seen: seen}
+	return seen
+}
+
 // SeenEstimate implements policy.View with the Eq. 15 lineage estimator.
 func (h *Host) SeenEstimate(s *msg.Stored) float64 {
-	return float64(core.EstimateSeen(s.SprayTimes, s.Copies, h.clock(), h.EIMin(), h.nodes))
+	return float64(h.seenFor(s))
 }
 
 // LiveEstimate implements policy.View with Eq. 14, n̂ = m̂ + 1 − d̂.
@@ -205,8 +253,7 @@ func (h *Host) LiveEstimate(s *msg.Stored) float64 {
 	if h.drops != nil {
 		dropped = h.drops.DroppedCount(s.M.ID)
 	}
-	seen := core.EstimateSeen(s.SprayTimes, s.Copies, h.clock(), h.EIMin(), h.nodes)
-	return float64(core.LiveCopies(seen, dropped, h.nodes))
+	return float64(core.LiveCopies(h.seenFor(s), dropped, h.nodes))
 }
 
 // TrueSeen implements policy.View via the oracle, falling back to the
@@ -280,7 +327,7 @@ func (h *Host) Originate(m *msg.Message, now float64) bool {
 			Node: m.Source, Peer: m.Dest, Size: m.Size, Copies: m.InitialCopies})
 	}
 	s := msg.NewSourceCopy(m)
-	victims, ok := policy.PlanEviction(h.pol, h, h.buf, s)
+	victims, ok := h.ord.PlanEviction(h.pol, h, h.buf, s)
 	if !ok {
 		if h.tracer != nil {
 			h.tracer.Emit(obs.Event{T: now, Type: obs.MessageDropped, Msg: m.ID,

@@ -6,7 +6,6 @@ import (
 	"sdsrp/internal/fault"
 	"sdsrp/internal/msg"
 	"sdsrp/internal/obs"
-	"sdsrp/internal/policy"
 )
 
 // Offer is a proposed transfer of the sender's copy S with semantics Kind.
@@ -27,7 +26,7 @@ type Offer struct {
 // is eligible.
 func (h *Host) NextOffer(peer *Host, skip func(msg.ID) bool) (Offer, bool) {
 	now := h.clock()
-	ordered := policy.SendOrder(h.pol, h, h.buf.Items())
+	ordered := h.ord.SendOrder(h.pol, h, h.buf.Items())
 	for _, s := range ordered {
 		if s.M.Expired(now) || (skip != nil && skip(s.M.ID)) {
 			continue
@@ -94,7 +93,7 @@ func (h *Host) PreAccept(o Offer, now float64) bool {
 	if !h.preflight {
 		return true
 	}
-	_, ok := policy.PlanEviction(h.pol, h, h.buf, o.Phantom(now))
+	_, ok := h.ord.PlanEviction(h.pol, h, h.buf, o.Phantom(now))
 	return ok
 }
 
@@ -186,7 +185,7 @@ func CommitTransfer(sender, receiver *Host, o Offer, now float64) bool {
 		return false
 	}
 
-	victims, ok := policy.PlanEviction(receiver.pol, receiver, receiver.buf, incoming)
+	victims, ok := receiver.ord.PlanEviction(receiver.pol, receiver, receiver.buf, incoming)
 	if !ok {
 		// The newcomer is the weakest: dropped on arrival. It enters the
 		// receiver's dropped list (enabling SDSRP's future pre-rejection)

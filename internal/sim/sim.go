@@ -23,19 +23,25 @@ type event struct {
 	time     float64
 	seq      uint64
 	canceled bool
-	fn       Handler
+	// gen counts recycles of this pooled object. An EventID snapshots the
+	// generation at scheduling time, so a stale handle cannot cancel the
+	// unrelated event that later reuses the same allocation.
+	gen uint64
+	fn  Handler
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero
 // EventID is invalid.
 type EventID struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel marks the event as canceled; a canceled event is skipped when its
-// time comes. Canceling an already-run or already-canceled event is a no-op.
+// time comes. Canceling an already-run or already-canceled event is a no-op
+// (the generation check makes a handle to a recycled event inert).
 func (id EventID) Cancel() {
-	if id.ev != nil {
+	if id.ev != nil && id.ev.gen == id.gen {
 		id.ev.canceled = true
 	}
 }
@@ -53,6 +59,11 @@ type Engine struct {
 	peakQueue int
 	// wall accumulates real time spent inside Run.
 	wall time.Duration
+	// free is the event free-list: dispatched and canceled events are
+	// recycled here instead of being re-allocated, making steady-state
+	// scheduling allocation-free. Capacity is bounded by the peak queue
+	// depth.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -90,13 +101,35 @@ func (e *Engine) At(t float64, fn Handler) EventID {
 		//lint:invariant a NaN deadline would silently vanish in the heap ordering; failing loudly preserves determinism
 		panic("sim: scheduling event at NaN time")
 	}
-	ev := &event{time: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.time, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	e.queue.Push(ev)
 	if n := e.queue.Len(); n > e.peakQueue {
 		e.peakQueue = n
 	}
-	return EventID{ev}
+	return EventID{ev, ev.gen}
+}
+
+// alloc takes an event from the free-list, falling back to the heap.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free-list. Bumping the generation
+// invalidates every outstanding EventID for it; clearing fn releases the
+// closure for GC.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.canceled = false
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d seconds from now. d must be ≥ 0.
@@ -112,7 +145,10 @@ func (e *Engine) Every(d float64, fn Handler) EventID {
 		//lint:invariant documented Every contract: a non-positive period would loop the clock forever at one instant
 		panic("sim: Every requires positive period")
 	}
-	ctl := &event{} // carries the cancel flag across re-schedules
+	// ctl carries the cancel flag across re-schedules. It is never queued,
+	// so it is never recycled and its generation stays 0 — the returned
+	// EventID remains valid for the ticker's whole lifetime.
+	ctl := &event{}
 	var tick Handler
 	tick = func(now float64) {
 		if ctl.canceled || e.stopped {
@@ -125,7 +161,7 @@ func (e *Engine) Every(d float64, fn Handler) EventID {
 		e.At(now+d, tick)
 	}
 	e.At(e.now+d, tick)
-	return EventID{ctl}
+	return EventID{ctl, ctl.gen}
 }
 
 // Stop halts the run loop after the current event returns.
@@ -155,11 +191,16 @@ func (e *Engine) Run(horizon float64) {
 		}
 		e.queue.Pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
-		e.now = ev.time
+		// Capture the payload and recycle before dispatching: the handler
+		// may schedule new events, and the freed object can serve them.
+		t, fn := ev.time, ev.fn
+		e.recycle(ev)
+		e.now = t
 		e.processed++
-		ev.fn(ev.time)
+		fn(t)
 	}
 }
 
