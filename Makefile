@@ -12,9 +12,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism-invariant static analysis (DESIGN.md §11): no wall-clock in
+# Determinism + hot-path static analysis (DESIGN.md §11): no wall-clock in
 # simulation logic, no global math/rand, no library panics, no map-order
-# emission, no bare float equality in score math.
+# emission, no bare float equality in score math, no scalar distance math
+# (sqrt/Hypot) in scan-path packages.
 lint:
 	$(GO) run ./cmd/dtnlint ./...
 
@@ -32,14 +33,19 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # CI-sized perf sanity pass (~1 min, see PERFORMANCE.md): runs the suite's
-# smoke case, asserts the report round-trips through the schema, and — via
-# the second invocation gating on the first's sim digest — that two separate
-# processes simulate byte-identically. The huge -max-regress disarms the
-# timing gate (CI machines are noisy); only determinism failures can trip it.
+# smoke case, asserts the report round-trips through the schema, that two
+# separate processes simulate byte-identically (second invocation gating on
+# the first's sim digest), and that the digest still matches the newest
+# committed BENCH_<n>.json — any scanner or engine change that perturbs the
+# event stream fails here before the full bench-report would catch it. The
+# huge -max-regress disarms the timing gate (CI machines are noisy); only
+# determinism failures can trip it.
 bench-smoke:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/dtnbench -smoke -iters 3 -out $$tmp/smoke.json -quiet && \
 	$(GO) run ./cmd/dtnbench -smoke -iters 2 -baseline $$tmp/smoke.json -max-regress 100000 -quiet && \
+	$(GO) run ./cmd/dtnbench -smoke -iters 2 -max-regress 100000 -quiet \
+		-baseline $$(ls BENCH_*.json | grep -v candidate | sort -t_ -k2 -n | tail -1) && \
 	$(GO) test -run 'TestGoldenTraceByteIdentical|TestReportByteStable|TestSmokeCaseMatchesGoldenCounters' ./internal/bench/ && \
 	rm -rf $$tmp
 

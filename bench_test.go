@@ -66,6 +66,30 @@ func BenchmarkTable2Scenario(b *testing.B) { benchSuiteCase(b, "table2") }
 // (200-taxi EPFL substitute, SDSRP policy).
 func BenchmarkTable3Scenario(b *testing.B) { benchSuiteCase(b, "table3") }
 
+// BenchmarkDenseScan measures the suite's contact-detection showcase: 400
+// traffic-free nodes spread over 15×12 km, where scanning is the whole cost
+// and the motion-bounded lazy sweep parks almost every pair.
+func BenchmarkDenseScan(b *testing.B) { benchSuiteCase(b, "densescan") }
+
+// BenchmarkDenseScanNaive runs the identical workload with the naive
+// per-tick scanner — the denominator of the lazy sweep's speedup. The two
+// runs produce byte-identical event streams (internal/world's differential
+// test), so the delta is pure scanning cost.
+func BenchmarkDenseScanNaive(b *testing.B) {
+	sc := bench.DenseScanScenario()
+	sc.ScanMode = "naive"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := sdsrp.Build(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Fig. 3: intermeeting-time distributions (both mobility scenarios).
 func BenchmarkFig3Intermeeting(b *testing.B) { benchExperiment(b, "fig3") }
 

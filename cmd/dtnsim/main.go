@@ -52,6 +52,7 @@ func main() {
 		timelineInterval = flag.Float64("timeline-interval", 60, "snapshot period in seconds for -timeline")
 		eventsOut        = flag.String("events", "", "write the structured lifecycle event log (JSONL) to this path")
 		profileOut       = flag.String("profile", "", "write a CPU profile of the run to this path")
+		scanMode         = flag.String("scan", "", "connectivity scan strategy: lazy (default) or naive; both are byte-identical")
 	)
 	flag.Parse()
 
@@ -138,6 +139,9 @@ func main() {
 	}
 	if *warmup > 0 {
 		sc.Warmup = *warmup
+	}
+	if *scanMode != "" {
+		sc.ScanMode = *scanMode
 	}
 	if *energyCap > 0 {
 		sc.Energy = config.Energy{Capacity: *energyCap, ScanPerSec: 0.5, TxPerSec: 15, RxPerSec: 10}

@@ -10,13 +10,16 @@ import (
 
 	"sdsrp/internal/config"
 	"sdsrp/internal/experiment"
+	"sdsrp/internal/geo"
 	"sdsrp/internal/report"
 	"sdsrp/internal/world"
 )
 
 // SuiteVersion tags the suite definition embedded in a report. Bump it when
-// cases are added, removed, or change parameters, so a delta report can
-// refuse to compare measurements of different workloads.
+// existing cases change parameters or are removed, so a delta report can
+// refuse to compare measurements of different workloads. Adding a case keeps
+// the version: Compare reports baseline-absent cases as New without gating
+// on them, so old reports stay comparable.
 const SuiteVersion = "v1"
 
 // BenchOptions is the shared reduced scale for sweep cases — identical to
@@ -53,6 +56,22 @@ func SmokeScenario() config.Scenario {
 	return sc
 }
 
+// DenseScanScenario is the lazy-scanner showcase workload: a node count
+// high enough that pair bookkeeping dominates (400 nodes, ~80k pairs)
+// spread over an area sparse enough that almost every pair is provably out
+// of range almost all the time. Traffic is disabled so the measurement
+// isolates contact detection — the cost the motion-bounded sweep attacks.
+func DenseScanScenario() config.Scenario {
+	sc := config.RandomWaypoint()
+	sc.Name = "bench-densescan"
+	sc.Nodes = 400
+	sc.Area = geo.NewRect(15000, 12000)
+	sc.Duration = 3600
+	sc.Range = 50
+	sc.GenIntervalLo = 0 // traffic-free: scanner cost only
+	return sc
+}
+
 // Suite returns the fixed benchmark suite, in definition order. Names are
 // stable identifiers: reports key on them, and -cases filters by them.
 func Suite() []Case {
@@ -60,6 +79,7 @@ func Suite() []Case {
 		scenarioCase("smoke", "16-node RWP smoke run (seconds-scale, golden-trace scenario)", SmokeScenario),
 		scenarioCase("table2", "full Table II baseline: 100-node RWP, 18000 s, SDSRP", config.RandomWaypoint),
 		scenarioCase("table3", "full Table III: 200-taxi EPFL substitute, 18000 s, SDSRP", config.EPFL),
+		scenarioCase("densescan", "400-node traffic-free RWP over 15×12 km: contact-scan cost in isolation", DenseScanScenario),
 		experimentCase("fig8copies", "Fig. 8 a-c sweep: metrics vs initial copies (reduced scale)"),
 		experimentCase("fig8buffer", "Fig. 8 d-f sweep: metrics vs buffer size (reduced scale)"),
 		experimentCase("fig8rate", "Fig. 8 g-i sweep: metrics vs generation rate (reduced scale)"),

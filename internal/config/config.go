@@ -93,6 +93,13 @@ type Scenario struct {
 	Range        float64 // radio range, m
 	Bandwidth    float64 // bytes/s
 	ScanInterval float64 // connectivity scan period, s
+	// ScanMode selects the connectivity-scan strategy: "lazy" (the default
+	// when empty) skips pair checks the mobility speed bounds rule out;
+	// "naive" re-checks every candidate pair each tick. Both produce
+	// byte-identical event streams — the knob is an escape hatch for
+	// perf comparison and for custom mobility models whose MaxSpeed
+	// bound is not trusted.
+	ScanMode string
 
 	BufferBytes int64
 	MessageSize int64
@@ -247,6 +254,11 @@ func (s Scenario) Validate() error {
 	}
 	if s.ScanInterval <= 0 {
 		add("scan interval %v must be positive", s.ScanInterval)
+	}
+	switch s.ScanMode {
+	case "", "lazy", "naive":
+	default:
+		add("scan mode %q unknown (want \"lazy\" or \"naive\")", s.ScanMode)
 	}
 	if s.MessageSize <= 0 {
 		add("message size %d must be positive", s.MessageSize)

@@ -31,9 +31,12 @@ func (p Point) Add(v Vec) Point { return Point{p.X + v.X, p.Y + v.Y} }
 // Sub returns the vector from q to p.
 func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
 
-// Dist returns the Euclidean distance between p and q.
+// Dist returns the Euclidean distance between p and q. On hot paths that
+// only compare against a radius, prefer Dist2 (the dtnlint hot-dist check
+// enforces this in the scanner/routing packages).
 func (p Point) Dist(q Point) float64 {
 	dx, dy := p.X-q.X, p.Y-q.Y
+	//lint:ignore hot-dist this is the canonical definition Dist2 callers avoid
 	return math.Hypot(dx, dy)
 }
 
@@ -42,6 +45,17 @@ func (p Point) Dist(q Point) float64 {
 func (p Point) Dist2(q Point) float64 {
 	dx, dy := p.X-q.X, p.Y-q.Y
 	return dx*dx + dy*dy
+}
+
+// DistLowerBound converts a squared distance (Point.Dist2) into a
+// conservative lower bound on the true distance: the result is guaranteed
+// not to exceed the exact Euclidean distance, shaving a relative 1e-9 plus
+// an absolute 1e-9 m to absorb every rounding step between the coordinates
+// and the square root. The lazy contact scanner derives park deadlines from
+// it, where an over-estimate would skip a tick a contact could start on.
+func DistLowerBound(d2 float64) float64 {
+	d := math.Sqrt(d2)
+	return d - (d*1e-9 + 1e-9)
 }
 
 // Lerp linearly interpolates from p to q; t=0 yields p, t=1 yields q.
@@ -58,7 +72,10 @@ type Vec struct {
 func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
 
 // Len returns the Euclidean length of v.
-func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+func (v Vec) Len() float64 {
+	//lint:ignore hot-dist canonical length definition; used off the scan path
+	return math.Hypot(v.X, v.Y)
+}
 
 // Norm returns v scaled to unit length; the zero vector is returned as-is.
 func (v Vec) Norm() Vec {

@@ -89,3 +89,31 @@ func TestPropertyDistMetric(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDistLowerBound(t *testing.T) {
+	// The bound must never exceed the true distance, across magnitudes from
+	// sub-metre to continental, and must stay tight (within a part in 1e8).
+	for _, d := range []float64{0, 1e-9, 0.001, 1, 3.5, 100, 4500, 1e7, 1e12} {
+		lo := DistLowerBound(d * d)
+		if lo > d {
+			t.Fatalf("DistLowerBound(%g²) = %g exceeds the true distance", d, lo)
+		}
+		if d > 0 && lo < d*(1-1e-8)-1e-8 {
+			t.Fatalf("DistLowerBound(%g²) = %g is needlessly loose", d, lo)
+		}
+	}
+	// Exact squares round-trip through sqrt exactly, so only the explicit
+	// slack separates the bound from the distance.
+	if lo := DistLowerBound(25); lo >= 5 || lo < 5-1e-6 {
+		t.Fatalf("DistLowerBound(25) = %g, want just under 5", lo)
+	}
+	if err := quick.Check(func(x, y float64) bool {
+		d2 := x*x + y*y
+		if math.IsInf(d2, 0) || math.IsNaN(d2) {
+			return true
+		}
+		return DistLowerBound(d2) <= math.Hypot(x, y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -329,3 +329,43 @@ func (p *Pass) isFloat(e ast.Expr) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsFloat != 0
 }
+
+// checkHotDist flags scalar Euclidean distances in the hot-path packages:
+// calls to a method named Dist (geo.Point.Dist in this module) and calls to
+// math.Hypot. Both take a square root per pair; radius comparisons on the
+// scan path must compare squared distances (Dist2 against r*r) instead.
+// Canonical definitions and parse-time bound measurements suppress the
+// finding with //lint:ignore hot-dist <reason>.
+func checkHotDist(p *Pass) {
+	if len(p.Cfg.HotDistScope) > 0 && !inScope(p.Pkg.Rel, p.Cfg.HotDistScope) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Hypot":
+				if obj := p.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "math" {
+					p.reportf(call.Pos(), "hot-dist",
+						"math.Hypot in a hot-path package; compare squared distances (Dist2 against r*r) or annotate the off-path use")
+				}
+			case "Dist":
+				// Method calls only: a package-level function named Dist has
+				// no selection entry and is someone else's business.
+				if p.Pkg.Info.Selections[sel] != nil {
+					p.reportf(call.Pos(), "hot-dist",
+						"scalar Dist on a hot path; compare squared distances (Dist2 against r*r) or annotate the off-path use")
+				}
+			}
+			return true
+		})
+	}
+}

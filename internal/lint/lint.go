@@ -1,9 +1,9 @@
 // Package lint is dtnlint's engine: a stdlib-only static-analysis suite
-// that machine-checks the simulator's determinism and error-handling
-// invariants (same seed ⇒ byte-identical results).
+// that machine-checks the simulator's determinism, error-handling, and
+// hot-path invariants (same seed ⇒ byte-identical results).
 //
 // The suite is built from go/parser, go/ast, go/types, and go/token alone,
-// preserving the module's zero-external-dependency constraint. Five checks
+// preserving the module's zero-external-dependency constraint. Six checks
 // run over every non-test file of every package in the module:
 //
 //   - no-wallclock: time.Now / time.Since are forbidden outside an explicit
@@ -20,6 +20,12 @@
 //   - float-eq: == / != on floating-point operands in the score-math
 //     packages (internal/policy, internal/buffer); exact comparisons there
 //     are almost always a tie-break that needs an explicit annotation.
+//   - hot-dist: scalar Euclidean distances (a Dist method call or
+//     math.Hypot) in the per-tick hot-path packages; radius comparisons
+//     there must use squared distances (geo.Point.Dist2 against r·r) — a
+//     square root per pair per tick dominated the scanner profile before
+//     the lazy sweep. Legitimate scalar uses (canonical definitions,
+//     parse-time bounds) carry a //lint:ignore hot-dist annotation.
 //
 // Findings can be suppressed with a `//lint:ignore <check> <reason>`
 // comment on the flagged line or the line above it. Malformed or
@@ -46,6 +52,7 @@ var CheckNames = []string{
 	"no-panic",
 	"ordered-map-emit",
 	"float-eq",
+	"hot-dist",
 }
 
 // KnownCheck reports whether name is a check of the suite (including the
@@ -81,6 +88,9 @@ type Config struct {
 	PanicScope []string
 	// FloatEqScope limits float-eq to these directories; empty = everywhere.
 	FloatEqScope []string
+	// HotDistScope limits hot-dist to these directories; empty = everywhere.
+	// The default config lists the packages executed every scan tick.
+	HotDistScope []string
 }
 
 // DefaultConfig returns the scoping for this repository: the allowlist and
@@ -96,6 +106,13 @@ func DefaultConfig() Config {
 		RNGExempt:    []string{"internal/rng"},
 		PanicScope:   []string{"internal"},
 		FloatEqScope: []string{"internal/policy", "internal/buffer"},
+		HotDistScope: []string{
+			"internal/geo",
+			"internal/mobility",
+			"internal/network",
+			"internal/policy",
+			"internal/routing",
+		},
 	}
 }
 
@@ -192,6 +209,7 @@ func Run(m *Module, cfg Config) []Diagnostic {
 		{"no-panic", checkNoPanic},
 		{"ordered-map-emit", checkMapEmit},
 		{"float-eq", checkFloatEq},
+		{"hot-dist", checkHotDist},
 	}
 	for _, pkg := range m.Pkgs {
 		pass := &Pass{Pkg: pkg, Cfg: cfg, diags: &diags, fset: m.Fset}

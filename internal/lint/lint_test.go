@@ -82,7 +82,7 @@ func diffKeys(t *testing.T, got, want map[string]int) {
 // TestFixtures runs the full suite over each golden package with the
 // strict zero config and compares findings against the // want markers.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"wallclock", "rngdiscipline", "nopanic", "mapemit", "floateq"} {
+	for _, name := range []string{"wallclock", "rngdiscipline", "nopanic", "mapemit", "floateq", "hotdist"} {
 		t.Run(name, func(t *testing.T) {
 			m := loadFixture(t, name)
 			diffKeys(t, keyed(Run(m, Config{})), wantMarkers(t, name))

@@ -43,6 +43,7 @@ func TestDefaultConfigNamesRealPaths(t *testing.T) {
 	paths = append(paths, cfg.RNGExempt...)
 	paths = append(paths, cfg.PanicScope...)
 	paths = append(paths, cfg.FloatEqScope...)
+	paths = append(paths, cfg.HotDistScope...)
 	for _, p := range paths {
 		abs := filepath.Join("..", "..", filepath.FromSlash(p))
 		if _, err := os.Stat(abs); err != nil {

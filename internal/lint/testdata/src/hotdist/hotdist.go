@@ -1,0 +1,44 @@
+// Package hotdist exercises the hot-dist check: scalar Euclidean distances
+// (Dist method calls, math.Hypot) where a squared comparison would do.
+package hotdist
+
+import "math"
+
+// Point mirrors the module's geo.Point shape.
+type Point struct{ X, Y float64 }
+
+// Dist is the canonical scalar distance; its own Hypot is flagged unless
+// annotated (the real geo.Point.Dist carries the annotation).
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y) // want hot-dist
+}
+
+// Dist2 is the squared distance the check steers callers toward.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+func inRange(a, b Point, r float64) bool {
+	return a.Dist(b) <= r // want hot-dist
+}
+
+func inRange2(a, b Point, r float64) bool {
+	return a.Dist2(b) <= r*r // squared comparison: clean
+}
+
+func hypotenuse(dx, dy float64) float64 {
+	return math.Hypot(dx, dy) // want hot-dist
+}
+
+// An annotated scalar use stays quiet.
+func length(dx, dy float64) float64 {
+	//lint:ignore hot-dist canonical definition used off the scan path
+	return math.Hypot(dx, dy)
+}
+
+// Dist the package-level function is not a distance method; calls to it
+// pass.
+func Dist(a, b float64) float64 { return b - a }
+
+func span(a, b float64) float64 { return Dist(a, b) }

@@ -52,7 +52,7 @@ func NewMapRoute(g *graph.Graph, speedLo, speedHi, pauseLo, pauseHi float64, s *
 		return g.At(next)
 	}
 	m := &MapRoute{}
-	m.legMover = newLegMover(g.At(cur),
+	m.legMover = newLegMover(g.At(cur), speedHi+1e-12,
 		pickDest,
 		func() float64 { return s.Uniform(speedLo, speedHi+1e-12) },
 		func() float64 {

@@ -21,6 +21,26 @@ type Model interface {
 	// Pos returns the position at time t. Query times must be
 	// non-decreasing across calls.
 	Pos(t float64) geo.Point
+
+	// MaxSpeed returns an upper bound on the node's speed in m/s: for any
+	// t1 ≤ t2, |Pos(t2) − Pos(t1)| ≤ MaxSpeed() · (t2 − t1).
+	//
+	// # Performance contract
+	//
+	// This bound is what lets the lazy contact scanner (internal/network,
+	// scan=lazy) park a far-apart pair and skip its distance checks until
+	// the tick at which physics first allows the pair to close to radio
+	// range. The bound must therefore hold for the model's entire
+	// lifetime and must never under-report: a too-small value silently
+	// breaks contact detection (missed link-ups), while a too-large value
+	// only costs earlier wake-ups. Models with a configured speed range
+	// return the range's upper cap; Static returns 0 (never checked
+	// against a moving peer beyond the one parked deadline); trace
+	// playback (Path) returns the steepest segment speed measured once at
+	// construction. A model free to teleport may return +Inf, which
+	// disables parking for its pairs. The value must be constant across
+	// the model's lifetime — the scanner reads it once at startup.
+	MaxSpeed() float64
 }
 
 // legMover factors the travel/pause state machine shared by waypoint-style
@@ -30,18 +50,30 @@ type legMover struct {
 	from, to         geo.Point
 	legStart, legEnd float64
 	pauseEnd         float64
+	maxSpeed         float64
 
 	pickDest  func(from geo.Point) geo.Point
 	pickSpeed func() float64
 	pickPause func() float64
 }
 
-func newLegMover(start geo.Point, pickDest func(geo.Point) geo.Point, pickSpeed, pickPause func() float64) legMover {
+// newLegMover wires the state machine. maxSpeed must upper-bound every value
+// pickSpeed can return; advance clamps non-positive draws to 1e-9, so the
+// stored bound is floored there too.
+func newLegMover(start geo.Point, maxSpeed float64, pickDest func(geo.Point) geo.Point, pickSpeed, pickPause func() float64) legMover {
+	if maxSpeed < 1e-9 {
+		maxSpeed = 1e-9
+	}
 	return legMover{
-		from: start, to: start,
+		from: start, to: start, maxSpeed: maxSpeed,
 		pickDest: pickDest, pickSpeed: pickSpeed, pickPause: pickPause,
 	}
 }
+
+// MaxSpeed implements Model. Per-leg speed is dist/dur with dur only ever
+// clamped upward, so the drawn-speed cap passed to newLegMover is a true
+// displacement bound.
+func (l *legMover) MaxSpeed() float64 { return l.maxSpeed }
 
 // Pos implements Model.
 func (l *legMover) Pos(t float64) geo.Point {
@@ -67,6 +99,7 @@ func (l *legMover) advance() {
 	if speed <= 0 {
 		speed = 1e-9
 	}
+	//lint:ignore hot-dist leg duration needs the true length, not its square
 	dur := l.from.Dist(l.to) / speed
 	if dur < 1e-9 {
 		dur = 1e-9 // zero-length legs must still advance time
@@ -96,7 +129,7 @@ type RandomWaypoint struct {
 func NewRandomWaypoint(area geo.Rect, speedLo, speedHi, pauseLo, pauseHi float64, s *rng.Stream) *RandomWaypoint {
 	start := uniformPoint(area, s)
 	m := &RandomWaypoint{}
-	m.legMover = newLegMover(start,
+	m.legMover = newLegMover(start, speedHi+1e-12,
 		func(geo.Point) geo.Point { return uniformPoint(area, s) },
 		func() float64 { return s.Uniform(speedLo, speedHi+1e-12) },
 		func() float64 { return s.Uniform(pauseLo, pauseHi+1e-12) },
@@ -118,3 +151,6 @@ type Static struct {
 
 // Pos implements Model.
 func (m Static) Pos(float64) geo.Point { return m.P }
+
+// MaxSpeed implements Model: a static node never moves.
+func (m Static) MaxSpeed() float64 { return 0 }

@@ -2,6 +2,7 @@ package mobility
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"sdsrp/internal/geo"
@@ -22,6 +23,9 @@ type Path struct {
 	// cursor is the index of the last segment used; queries are
 	// non-decreasing in time, so scanning forward from it is O(1) amortized.
 	cursor int
+	// maxSpeed is the steepest segment speed, measured once at
+	// construction (the MaxSpeed performance contract).
+	maxSpeed float64
 }
 
 // NewPath builds a playback model. Waypoints are sorted by time; at least
@@ -32,8 +36,32 @@ func NewPath(points []TimedPoint) (*Path, error) {
 	}
 	sorted := append([]TimedPoint(nil), points...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
-	return &Path{points: sorted}, nil
+	p := &Path{points: sorted}
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		//lint:ignore hot-dist parse-time bound measurement, not a per-tick check
+		d := a.P.Dist(b.P)
+		if d == 0 {
+			continue
+		}
+		var v float64
+		if dt := b.T - a.T; dt > 0 {
+			v = d / dt
+		} else {
+			v = math.Inf(1) // recorded teleport: no finite bound exists
+		}
+		if v > p.maxSpeed {
+			p.maxSpeed = v
+		}
+	}
+	// One part in 2^30 of headroom absorbs the rounding difference between
+	// this measurement and the Lerp arithmetic Pos replays.
+	p.maxSpeed *= 1 + 1e-9
+	return p, nil
 }
+
+// MaxSpeed implements Model.
+func (p *Path) MaxSpeed() float64 { return p.maxSpeed }
 
 // Pos implements Model.
 func (p *Path) Pos(t float64) geo.Point {

@@ -68,7 +68,7 @@ type Taxi struct {
 func NewTaxi(cfg TaxiConfig, s *rng.Stream) *Taxi {
 	pick := func(geo.Point) geo.Point { return pickTaxiDest(cfg, s) }
 	m := &Taxi{}
-	m.legMover = newLegMover(pick(geo.Point{}),
+	m.legMover = newLegMover(pick(geo.Point{}), cfg.SpeedHi,
 		pick,
 		func() float64 { return s.Uniform(cfg.SpeedLo, cfg.SpeedHi) },
 		func() float64 { return s.Uniform(cfg.PauseLo, cfg.PauseHi) },

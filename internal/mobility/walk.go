@@ -20,7 +20,7 @@ type RandomWalk struct {
 func NewRandomWalk(area geo.Rect, speedLo, speedHi, epochDist float64, s *rng.Stream) *RandomWalk {
 	start := uniformPoint(area, s)
 	m := &RandomWalk{}
-	m.legMover = newLegMover(start,
+	m.legMover = newLegMover(start, speedHi+1e-12,
 		func(from geo.Point) geo.Point {
 			theta := s.Uniform(0, 2*math.Pi)
 			dest := from.Add(geo.Vec{X: epochDist * math.Cos(theta), Y: epochDist * math.Sin(theta)})
@@ -42,7 +42,7 @@ type RandomDirection struct {
 func NewRandomDirection(area geo.Rect, speedLo, speedHi, pauseLo, pauseHi float64, s *rng.Stream) *RandomDirection {
 	start := uniformPoint(area, s)
 	m := &RandomDirection{}
-	m.legMover = newLegMover(start,
+	m.legMover = newLegMover(start, speedHi+1e-12,
 		func(from geo.Point) geo.Point {
 			theta := s.Uniform(0, 2*math.Pi)
 			return borderHit(area, from, theta)

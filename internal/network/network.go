@@ -57,7 +57,20 @@ type Config struct {
 	// Faults is the run's fault injector; nil disables fault injection at
 	// zero cost (every hot-path probe is a nil-guarded branch).
 	Faults *fault.Injector
+	// Scan selects the connectivity-scan strategy. ScanLazy (the default
+	// when empty) parks pairs that physics rules out of radio range —
+	// using each mobility model's MaxSpeed bound — in a wake wheel and
+	// skips their distance checks until the earliest tick they could
+	// close; ScanNaive re-checks every grid-candidate pair each tick.
+	// Both emit byte-identical event streams.
+	Scan string
 }
+
+// Scan strategy names accepted by Config.Scan.
+const (
+	ScanLazy  = "lazy"
+	ScanNaive = "naive"
+)
 
 // pairKey identifies an unordered host pair, low id first.
 type pairKey [2]int32
@@ -140,6 +153,17 @@ type Manager struct {
 	// flapped suppresses re-up of pairs whose contact the flap model cut,
 	// until the nodes genuinely separate (nil unless flapping is enabled).
 	flapped map[pairKey]bool
+
+	// sweep is the lazy scan planner (nil in naive mode).
+	sweep *sweep
+	// downsBuf and freedBuf are per-tick scratch, reused so a steady-state
+	// scan allocates nothing.
+	downsBuf []pairKey
+	freedBuf []int
+	// Scan-strategy counters (see ScanStats).
+	pairsChecked uint64
+	pairsSkipped uint64
+	wakeups      uint64
 }
 
 // NewManager wires the radio model. hosts[i] moves along models[i]. It
@@ -191,7 +215,21 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 	if m.faults.FlapEnabled() {
 		m.flapped = make(map[pairKey]bool)
 	}
+	switch cfg.Scan {
+	case "", ScanLazy:
+		m.sweep = newSweep(m)
+	case ScanNaive:
+	default:
+		return nil, fmt.Errorf("network: unknown scan strategy %q (want %q or %q)", cfg.Scan, ScanLazy, ScanNaive)
+	}
 	return m, nil
+}
+
+// ScanStats reports the scan-strategy work counters: distance-predicate
+// evaluations performed, pair-ticks skipped because the pair was parked in
+// the wake wheel (always 0 in naive mode), and pairs woken from the wheel.
+func (m *Manager) ScanStats() (checked, skipped, wakeups uint64) {
+	return m.pairsChecked, m.pairsSkipped, m.wakeups
 }
 
 // Start schedules the periodic connectivity scan. Call once before
@@ -217,7 +255,8 @@ func (m *Manager) ContactLog() []Contact { return m.contactLog }
 
 // Scan samples positions, diffs the in-range pair set against the active
 // links, and emits link-up/down transitions. Exported for tests; normally
-// driven by Start.
+// driven by Start. Dispatches to the strategy selected by Config.Scan; both
+// strategies emit byte-identical event streams.
 func (m *Manager) Scan(now float64) {
 	// Radios beacon continuously: charge the scan drain first so nodes that
 	// die this tick drop out of the pair set immediately.
@@ -226,32 +265,31 @@ func (m *Manager) Scan(now float64) {
 			m.energy.drain(i, m.cfg.Energy.ScanPerSec*m.cfg.ScanInterval, now)
 		}
 	}
+	if m.sweep != nil {
+		m.scanLazy(now)
+		return
+	}
+	m.scanNaive(now)
+}
+
+func (m *Manager) scanNaive(now float64) {
 	for i, model := range m.models {
 		m.positions[i] = model.Pos(now)
 	}
 	m.grid.Update(m.positions)
 	m.pairBuf = m.grid.Pairs(m.maxRange, m.pairBuf[:0])
 
-	current := make(map[pairKey]bool, len(m.pairBuf))
-	for _, p := range m.pairBuf {
-		if !m.energy.alive(int(p[0])) || !m.energy.alive(int(p[1])) {
-			continue
-		}
-		if m.isDown(int(p[0])) || m.isDown(int(p[1])) {
-			continue
-		}
-		if !m.inRange(int(p[0]), int(p[1])) {
-			continue
-		}
-		current[pairKey{p[0], p[1]}] = true
-	}
-
 	// Downs first (frees endpoints). Collect the link-map keys, then sort:
 	// the teardown order must never inherit map iteration order, or the
 	// abort/kick sequence — and every event it emits — would vary run to run.
-	var downs []pairKey
+	// The in-contact predicate is recomputed per link instead of consulting a
+	// freshly built pair-set map: pairInContact true implies membership in
+	// pairBuf (the grid finds every pair within maxRange ≥ the pair range),
+	// so the diff against the old map semantics is exact — and the per-tick
+	// map allocation is gone.
+	downs := m.downsBuf[:0]
 	for k := range m.links {
-		if !current[k] {
+		if !m.pairInContact(int(k[0]), int(k[1])) {
 			downs = append(downs, k)
 		}
 	}
@@ -259,7 +297,7 @@ func (m *Manager) Scan(now float64) {
 	// Kicks are deferred until every down in this tick is processed, so a
 	// freed endpoint never starts a transfer on a sibling link that is
 	// itself about to drop in the same tick.
-	var freed []int
+	freed := m.freedBuf[:0]
 	for _, k := range downs {
 		freed = m.linkDown(k, now, freed)
 	}
@@ -268,8 +306,11 @@ func (m *Manager) Scan(now float64) {
 	// dead endpoints, and flap-suppressed pairs (a flapped contact stays
 	// down until the nodes genuinely separate).
 	for _, p := range m.pairBuf {
+		if !m.pairInContact(int(p[0]), int(p[1])) {
+			continue
+		}
 		k := pairKey{p[0], p[1]}
-		if !current[k] || m.flapped[k] {
+		if m.flapped[k] {
 			continue
 		}
 		if _, up := m.links[k]; !up {
@@ -278,10 +319,17 @@ func (m *Manager) Scan(now float64) {
 	}
 	// Separated pairs may flap again on their next genuine contact.
 	for k := range m.flapped {
-		if !current[k] {
+		if !m.pairInContact(int(k[0]), int(k[1])) {
 			delete(m.flapped, k)
 		}
 	}
+	m.pairsChecked += uint64(len(m.links)) + uint64(len(m.pairBuf)) + uint64(len(m.flapped))
+	m.finishScan(freed, now)
+}
+
+// finishScan kicks the endpoints freed by this tick's downs, in sorted
+// deduplicated order, and parks the scratch slices for the next tick.
+func (m *Manager) finishScan(freed []int, now float64) {
 	if len(freed) > 0 {
 		sort.Ints(freed)
 		prev := -1
@@ -292,15 +340,32 @@ func (m *Manager) Scan(now float64) {
 			}
 		}
 	}
+	m.downsBuf = m.downsBuf[:0]
+	m.freedBuf = freed[:0]
 }
 
-// inRange applies the per-node range model: both radios must reach.
-func (m *Manager) inRange(a, b int) bool {
-	if m.ranges == nil {
-		return true // the grid query already enforced the uniform range
+// pairInContact is the scan predicate: both radios alive, neither node
+// churn-crashed, and the distance within the pair's effective range (the
+// smaller of the two radios; both must reach). Callers must have sampled
+// both positions for the current tick.
+func (m *Manager) pairInContact(a, b int) bool {
+	if !m.energy.alive(a) || !m.energy.alive(b) {
+		return false
 	}
-	r := math.Min(m.ranges[a], m.ranges[b])
+	if m.isDown(a) || m.isDown(b) {
+		return false
+	}
+	r := m.pairRange(a, b)
 	return m.positions[a].Dist2(m.positions[b]) <= r*r
+}
+
+// pairRange returns the effective radio range of the pair: a link needs
+// both radios to reach.
+func (m *Manager) pairRange(a, b int) float64 {
+	if m.ranges == nil {
+		return m.cfg.Range
+	}
+	return math.Min(m.ranges[a], m.ranges[b])
 }
 
 func (m *Manager) linkUp(k pairKey, now float64) {
@@ -319,6 +384,9 @@ func (m *Manager) linkUp(k pairKey, now float64) {
 	m.links[k] = l
 	m.neighbors[k[0]][int(k[1])] = l
 	m.neighbors[k[1]][int(k[0])] = l
+	if m.sweep != nil {
+		m.sweep.onLinkUp(k)
+	}
 	m.contacts++
 	if m.tracer != nil {
 		m.tracer.Emit(obs.Event{T: now, Type: obs.ContactUp, Node: int(k[0]), Peer: int(k[1])})
@@ -350,6 +418,13 @@ func (m *Manager) linkDown(k pairKey, now float64, freed []int) []int {
 	}
 	delete(m.neighbors[k[0]], int(k[1]))
 	delete(m.neighbors[k[1]], int(k[0]))
+	if m.sweep != nil {
+		// Every teardown — scan separation, flap, churn crash — returns the
+		// pair to the every-tick set; the next tick re-parks it if it is
+		// genuinely far. This conservative wake is what keeps fault
+		// interactions exact.
+		m.sweep.onLinkDown(k)
+	}
 	m.lastEnd[k] = now
 	if m.tracer != nil {
 		m.tracer.Emit(obs.Event{T: now, Type: obs.ContactDown, Node: int(k[0]), Peer: int(k[1])})

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math"
 	"testing"
 
 	"sdsrp/internal/core"
@@ -18,6 +19,10 @@ import (
 type puppet struct{ p geo.Point }
 
 func (m *puppet) Pos(float64) geo.Point { return m.p }
+
+// MaxSpeed implements mobility.Model: puppets teleport, so no finite bound
+// exists and the lazy scanner checks them every tick.
+func (m *puppet) MaxSpeed() float64 { return math.Inf(1) }
 
 type rig struct {
 	eng       *sim.Engine

@@ -194,6 +194,14 @@ type RunStats struct {
 	PeakQueue int
 	// WallSeconds is the real time spent inside the engine run loop.
 	WallSeconds float64
+	// PairsChecked counts the contact scanner's distance-predicate
+	// evaluations; PairsSkipped counts pair-ticks the lazy scanner parked
+	// in its wake wheel instead of checking (always 0 in naive mode);
+	// Wakeups counts pairs woken from the wheel. All zero in
+	// contact-trace-driven runs, which have no scanner.
+	PairsChecked uint64
+	PairsSkipped uint64
+	Wakeups      uint64
 }
 
 // EventsPerSec returns the dispatch throughput (0 when no wall time was
@@ -205,8 +213,15 @@ func (r RunStats) EventsPerSec() float64 {
 	return float64(r.Events) / r.WallSeconds
 }
 
-// String formats the digest as the dtnsim perf summary line.
+// String formats the digest as the dtnsim perf summary line. The scan
+// counters are appended only when a scanner ran, keeping the line stable
+// for scheduled (trace-replay) runs.
 func (r RunStats) String() string {
-	return fmt.Sprintf("events=%d events/sec=%.0f peak-queue=%d wall=%.3fs sim=%.0fs",
+	s := fmt.Sprintf("events=%d events/sec=%.0f peak-queue=%d wall=%.3fs sim=%.0fs",
 		r.Events, r.EventsPerSec(), r.PeakQueue, r.WallSeconds, r.SimSeconds)
+	if r.PairsChecked > 0 || r.PairsSkipped > 0 {
+		s += fmt.Sprintf(" pairs-checked=%d pairs-skipped=%d wakeups=%d",
+			r.PairsChecked, r.PairsSkipped, r.Wakeups)
+	}
+	return s
 }

@@ -172,6 +172,7 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 		Bandwidth:      sc.Bandwidth,
 		ScanInterval:   sc.ScanInterval,
 		Ranges:         ranges,
+		Scan:           sc.ScanMode,
 		RecordContacts: sc.RecordContacts,
 		Tracer:         bo.tracer,
 		Faults:         inj,
@@ -508,11 +509,15 @@ func (w *World) Run() (Result, error) {
 
 // RunStats returns the engine-level performance digest of the run so far.
 func (w *World) RunStats() obs.RunStats {
+	checked, skipped, wakeups := w.Manager.ScanStats()
 	return obs.RunStats{
-		SimSeconds:  w.Engine.Now(),
-		Events:      w.Engine.Processed(),
-		PeakQueue:   w.Engine.PeakQueue(),
-		WallSeconds: w.Engine.Wall().Seconds(),
+		SimSeconds:   w.Engine.Now(),
+		Events:       w.Engine.Processed(),
+		PeakQueue:    w.Engine.PeakQueue(),
+		WallSeconds:  w.Engine.Wall().Seconds(),
+		PairsChecked: checked,
+		PairsSkipped: skipped,
+		Wakeups:      wakeups,
 	}
 }
 
