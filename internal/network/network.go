@@ -62,7 +62,12 @@ type Config struct {
 	// using each mobility model's MaxSpeed bound — in a wake wheel and
 	// skips their distance checks until the earliest tick they could
 	// close; ScanNaive re-checks every grid-candidate pair each tick.
-	// Both emit byte-identical event streams.
+	// Both emit byte-identical event streams. Lazy mode keeps per-pair
+	// state — O(n²) arrays (~29 bytes per unordered pair, ≈1.4 GB at
+	// n = 10000) versus naive's O(n) grid — and fleets large enough to
+	// overflow its int32 pair index (n ≥ 65536) silently fall back to
+	// ScanNaive; pick ScanNaive explicitly when memory is tighter than
+	// scan time.
 	Scan string
 }
 
@@ -227,7 +232,8 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 
 // ScanStats reports the scan-strategy work counters: distance-predicate
 // evaluations performed, pair-ticks skipped because the pair was parked in
-// the wake wheel (always 0 in naive mode), and pairs woken from the wheel.
+// the wake wheel or permanently retired (always 0 in naive mode), and
+// pairs woken from the wheel.
 func (m *Manager) ScanStats() (checked, skipped, wakeups uint64) {
 	return m.pairsChecked, m.pairsSkipped, m.wakeups
 }

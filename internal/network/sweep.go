@@ -1,6 +1,8 @@
 package network
 
 import (
+	"math"
+
 	"sdsrp/internal/geo"
 )
 
@@ -125,9 +127,16 @@ type sweep struct {
 }
 
 // newSweep builds the planner with every non-linked pair near: the first
-// tick is a full O(n²) pass that parks everything physics allows.
+// tick is a full O(n²) pass that parks everything physics allows. It
+// returns nil — falling the run back to scanNaive — when the triangular
+// pair index would overflow the int32 bookkeeping (n ≥ 65536): beyond that
+// the six O(n²) per-pair arrays are a memory liability anyway, and the
+// O(n) naive grid is the right tool.
 func newSweep(m *Manager) *sweep {
 	n := len(m.hosts)
+	if int64(n)*int64(n-1)/2 > math.MaxInt32 {
+		return nil
+	}
 	pairs := n * (n - 1) / 2
 	s := &sweep{
 		m:        m,
@@ -231,16 +240,22 @@ func (s *sweep) retire(p int32) {
 
 // parkTicks returns how many whole ticks pair (a,b) at squared distance d2
 // and effective range r is guaranteed to stay out of range, or -1 when the
-// pair can never close (closing-speed bound zero). 0 or 1 means the pair
-// must stay near.
+// pair can never close (out of range with closing-speed bound zero). 0 or 1
+// means the pair must stay near.
 func (s *sweep) parkTicks(a, b int, d2, r float64) int64 {
+	gap := geo.DistLowerBound(d2) - r
+	if gap <= 0 {
+		// In (or at) radio range: the pair stays near regardless of speeds.
+		// The caller reaches here with the contact predicate false when an
+		// endpoint is churn-downed or energy-dead; distance did not rule the
+		// pair out, so retiring a static-static pair here would make the
+		// endpoint's reboot unobservable (nothing wakes a retired pair) and
+		// diverge from the naive scanner, which re-ups the link.
+		return 0
+	}
 	c := s.speed[a] + s.speed[b]
 	if c <= 0 {
 		return -1
-	}
-	gap := geo.DistLowerBound(d2) - r
-	if gap <= 0 {
-		return 0
 	}
 	k := gap / (c * s.interval) // c = +Inf (teleporting model) gives 0
 	if !(k < maxParkTicks) {    // catches NaN too, though c and gap are finite
@@ -305,9 +320,10 @@ func (m *Manager) scanLazy(now float64) {
 		if m.flapped != nil {
 			delete(m.flapped, keyOf(a, b))
 		}
-		// Parking is justified by distance alone: a dead or churned node
-		// at parking distance cannot reach range before the wake tick
-		// regardless of its radio state.
+		// Parking (and retiring) is justified by distance alone: a dead or
+		// churned node at parking distance cannot reach range before the
+		// wake tick regardless of its radio state. In-range pairs whose
+		// predicate failed for radio-state reasons get K = 0 and stay near.
 		switch K := s.parkTicks(a, b, d2, r); {
 		case K < 0:
 			s.retire(p)

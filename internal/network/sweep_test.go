@@ -23,6 +23,8 @@ func TestParkTicksDeadlines(t *testing.T) {
 		want     int64
 	}{
 		{"both-static", 0, 0, 1, 500, 50, -1},
+		{"static-in-range", 0, 0, 1, 40, 50, 0},  // in range ⇒ near, never retired
+		{"static-at-range", 0, 0, 1, 50, 50, 0},  // boundary counts as in range
 		{"negative-speed-sum-guards", 0, -1, 1, 500, 50, -1}, // contract violation still safe
 		{"in-range", 2, 2, 1, 40, 50, 0},
 		{"exactly-at-range", 2, 2, 1, 50, 50, 0}, // lower bound < r ⇒ gap < 0
@@ -164,6 +166,47 @@ func TestSweepRetiresStaticPairs(t *testing.T) {
 	}
 	if skipped < 190 {
 		t.Fatalf("pairsSkipped = %d, want one per remaining tick", skipped)
+	}
+}
+
+// TestSweepStaticPairSurvivesChurnReboot pins the regression where an
+// in-range static-static pair with a churn-downed endpoint was permanently
+// retired (closing speed 0) on its first scan: nothing ever wakes a retired
+// pair, so the link would never come up after the reboot, diverging from
+// the naive scanner. The pair must instead stay near — distance did not
+// rule it out — and link as soon as the endpoint is back.
+func TestSweepStaticPairSurvivesChurnReboot(t *testing.T) {
+	eng := sim.NewEngine()
+	collector := stats.NewCollector()
+	tracker := routing.NewTracker()
+	hosts := make([]*routing.Host, 2)
+	models := []mobility.Model{
+		mobility.Static{P: geo.Point{X: 0, Y: 0}},
+		mobility.Static{P: geo.Point{X: 30, Y: 0}},
+	}
+	for i := range hosts {
+		hosts[i] = routing.NewHost(routing.HostConfig{
+			ID: i, Nodes: 2, Buffer: 10000,
+			Policy: policy.FIFO{}, Proto: routing.SprayAndWait{Binary: true},
+			Rate:  core.FixedRate{Mean: 1200},
+			Clock: eng.Now, Collector: collector, Tracker: tracker, Oracle: tracker,
+		})
+	}
+	m := mustManager(NewManager(eng, Config{
+		Area: geo.NewRect(1000, 1000), Range: 50, Bandwidth: 100, ScanInterval: 1,
+	}, hosts, models, collector, nil))
+	// Crash node 1 by hand (churn bookkeeping without an injector), scan
+	// while it is dark, then reboot and scan again.
+	m.down = make([]bool, 2)
+	m.down[1] = true
+	m.Scan(1)
+	if got := m.ActiveLinks(); got != 0 {
+		t.Fatalf("ActiveLinks = %d while an endpoint is down, want 0", got)
+	}
+	m.down[1] = false
+	m.Scan(2)
+	if got := m.ActiveLinks(); got != 1 {
+		t.Fatalf("ActiveLinks = %d after reboot, want the in-range static pair re-linked", got)
 	}
 }
 

@@ -195,10 +195,11 @@ type RunStats struct {
 	// WallSeconds is the real time spent inside the engine run loop.
 	WallSeconds float64
 	// PairsChecked counts the contact scanner's distance-predicate
-	// evaluations; PairsSkipped counts pair-ticks the lazy scanner parked
-	// in its wake wheel instead of checking (always 0 in naive mode);
-	// Wakeups counts pairs woken from the wheel. All zero in
-	// contact-trace-driven runs, which have no scanner.
+	// evaluations; PairsSkipped counts pair-ticks the lazy scanner left
+	// unchecked because the pair was parked in its wake wheel or
+	// permanently retired (always 0 in naive mode); Wakeups counts pairs
+	// woken from the wheel. All zero in contact-trace-driven runs, which
+	// have no scanner.
 	PairsChecked uint64
 	PairsSkipped uint64
 	Wakeups      uint64

@@ -141,6 +141,21 @@ func TestLazyScanMatchesNaive(t *testing.T) {
 			sc.Faults = fault.Config{Churn: fault.Churn{MeanUp: 300, MeanDown: 120}}
 			return sc
 		},
+		"static-relays-churn": func() config.Scenario {
+			// In-range static-static pairs (closing speed 0) whose endpoints
+			// churn-crash and reboot: the lazy planner must keep them near —
+			// retiring them would lose every post-reboot re-up the naive
+			// scanner emits. Dense relays guarantee in-range static pairs.
+			sc := diffBase()
+			sc.Groups = []config.Group{
+				{Name: "walkers", Count: 12, Mobility: config.Mobility{
+					Kind: config.MobilityRWP, SpeedLo: 1, SpeedHi: 3}},
+				{Name: "relays", Count: 12, Range: 400, Mobility: config.Mobility{
+					Kind: config.MobilityStatic}},
+			}
+			sc.Faults = fault.Config{Churn: fault.Churn{MeanUp: 200, MeanDown: 100}}
+			return sc
+		},
 		"flap-and-loss": func() config.Scenario {
 			sc := diffBase()
 			sc.Faults = fault.Config{LinkFlapMeanUp: 40, TransferLossProb: 0.05}
