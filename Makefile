@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke bench-report fuzz fuzz-smoke experiments check resilience examples clean
+.PHONY: all build vet lint test test-short race bench bench-smoke bench-report trace-smoke fuzz fuzz-smoke experiments check resilience examples clean
 
 all: build vet lint test
 
@@ -55,6 +55,30 @@ bench-smoke:
 bench-report:
 	$(GO) run ./cmd/dtnbench -iters 3 -out BENCH_candidate.json \
 		-baseline $$(ls BENCH_*.json | grep -v candidate | sort -t_ -k2 -n | tail -1)
+
+# Observability round-trip gate (~20 s): run dtnsim with the event log (gzip)
+# and snapshot sampler, then require (a) dtntrace stats to reproduce the
+# printed summary bit-for-bit from the trace alone, (b) a second same-seed
+# run to be byte-identical under dtntrace diff, and (c) a different-seed run
+# to be flagged divergent. Catches any drift between the live collector and
+# the event vocabulary, and any nondeterminism in the emit path.
+trace-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/dtnsim ./cmd/dtnsim && \
+	$(GO) build -o $$tmp/dtntrace ./cmd/dtntrace && \
+	$$tmp/dtnsim -nodes 24 -duration 3600 -seed 3 \
+		-events $$tmp/a.jsonl.gz -snapshot-interval 300 > $$tmp/sim.txt && \
+	$$tmp/dtnsim -nodes 24 -duration 3600 -seed 3 \
+		-events $$tmp/b.jsonl -snapshot-interval 300 > /dev/null && \
+	$$tmp/dtnsim -nodes 24 -duration 3600 -seed 4 \
+		-events $$tmp/c.jsonl > /dev/null && \
+	$$tmp/dtntrace stats -check $$tmp/sim.txt $$tmp/a.jsonl.gz && \
+	$$tmp/dtntrace diff $$tmp/a.jsonl.gz $$tmp/b.jsonl && \
+	if $$tmp/dtntrace diff $$tmp/a.jsonl.gz $$tmp/c.jsonl > /dev/null; then \
+		echo "trace-smoke: different seeds reported identical" && exit 1; \
+	else echo "divergence detected across seeds (expected)"; fi && \
+	$$tmp/dtntrace series $$tmp/a.jsonl.gz | head -3 && \
+	rm -rf $$tmp
 
 # Short fuzzing bursts over the trace parsers.
 fuzz:

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strings"
@@ -50,7 +51,8 @@ func main() {
 		fatesOut         = flag.String("fates", "", "write per-message outcome CSV to this path")
 		timelineOut      = flag.String("timeline", "", "write periodic run snapshots as CSV to this path")
 		timelineInterval = flag.Float64("timeline-interval", 60, "snapshot period in seconds for -timeline")
-		eventsOut        = flag.String("events", "", "write the structured lifecycle event log (JSONL) to this path")
+		eventsOut        = flag.String("events", "", "write the structured lifecycle event log (JSONL) to this path (.gz = gzip)")
+		snapInterval     = flag.Float64("snapshot-interval", 0, "emit a snapshot event into the event log every N sim-seconds (0 = off; needs -events)")
 		profileOut       = flag.String("profile", "", "write a CPU profile of the run to this path")
 		scanMode         = flag.String("scan", "", "connectivity scan strategy: lazy (default) or naive; both are byte-identical")
 	)
@@ -154,12 +156,12 @@ func main() {
 		return
 	}
 
-	var events *os.File
+	var events io.WriteCloser
 	var jsonl *sdsrp.JSONLTracer
 	var buildOpts []sdsrp.BuildOption
 	if *eventsOut != "" {
 		var err error
-		events, err = os.Create(*eventsOut)
+		events, err = sdsrp.CreateEventLog(*eventsOut)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -169,6 +171,11 @@ func main() {
 	w, err := sdsrp.Build(sc, buildOpts...)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *snapInterval > 0 {
+		if err := w.EnableSnapshots(*snapInterval); err != nil {
+			fatal("%v", err)
+		}
 	}
 	if *timelineOut != "" {
 		if err := w.EnableTimeline(*timelineInterval); err != nil {

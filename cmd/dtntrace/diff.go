@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+
+	"sdsrp/internal/obs"
+)
+
+// lineScanner walks a trace line by line, remembering recent lines for
+// divergence context.
+type lineScanner struct {
+	name string
+	s    *bufio.Scanner
+	line int
+	eof  bool
+	cur  string
+}
+
+func newLineScanner(path string) (*lineScanner, io.Closer, error) {
+	f, err := obs.OpenLog(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := bufio.NewScanner(f)
+	s.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	return &lineScanner{name: path, s: s}, f, nil
+}
+
+// next advances to the following line; eof is sticky.
+func (l *lineScanner) next() error {
+	if l.s.Scan() {
+		l.line++
+		l.cur = l.s.Text()
+		return nil
+	}
+	if err := l.s.Err(); err != nil {
+		return fmt.Errorf("%s: %w", l.name, err)
+	}
+	l.eof = true
+	l.cur = ""
+	return nil
+}
+
+// runDiff compares two traces event-by-event and localizes the first
+// divergence. It reports identical=true (and prints the event count) when
+// the streams match byte-for-byte; otherwise it prints the first divergent
+// event with n common lines of preceding context in file:line style.
+func runDiff(args []string, out io.Writer) (identical bool, err error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	context := fs.Int("context", 3, "common preceding lines of context to print on divergence")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("diff wants exactly two trace files, got %d arguments", fs.NArg())
+	}
+	aPath, bPath := fs.Arg(0), fs.Arg(1)
+	a, ac, err := newLineScanner(aPath)
+	if err != nil {
+		return false, err
+	}
+	defer ac.Close()
+	b, bc, err := newLineScanner(bPath)
+	if err != nil {
+		return false, err
+	}
+	defer bc.Close()
+
+	n := *context
+	if n < 0 {
+		n = 0
+	}
+	recent := make([]string, 0, n) // ring of the last n common lines
+	events := 0
+	for {
+		if err := a.next(); err != nil {
+			return false, err
+		}
+		if err := b.next(); err != nil {
+			return false, err
+		}
+		if a.eof && b.eof {
+			fmt.Fprintf(out, "identical: %d events\n", events)
+			return true, nil
+		}
+		if a.eof || b.eof || a.cur != b.cur {
+			printDivergence(out, a, b, recent, n)
+			return false, nil
+		}
+		events++
+		if n > 0 {
+			if len(recent) == n {
+				copy(recent, recent[1:])
+				recent = recent[:n-1]
+			}
+			recent = append(recent, fmt.Sprintf("%s:%d: %s", a.name, a.line, a.cur))
+		}
+	}
+}
+
+func printDivergence(out io.Writer, a, b *lineScanner, recent []string, n int) {
+	line := a.line
+	if b.line > line {
+		line = b.line
+	}
+	fmt.Fprintf(out, "traces diverge at event %d:\n", line)
+	if len(recent) > 0 {
+		fmt.Fprintf(out, "common context (last %d of %d shared events):\n", len(recent), line-1)
+		for _, l := range recent {
+			fmt.Fprintf(out, "  %s\n", l)
+		}
+	}
+	fmt.Fprintf(out, "first divergent event:\n")
+	fmt.Fprintf(out, "  %s\n", sideLine(a))
+	fmt.Fprintf(out, "  %s\n", sideLine(b))
+}
+
+func sideLine(s *lineScanner) string {
+	if s.eof {
+		return fmt.Sprintf("%s:%d: <end of trace>", s.name, s.line+1)
+	}
+	return fmt.Sprintf("%s:%d: %s", s.name, s.line, s.cur)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sdsrp/internal/obs"
+)
+
+// runSeries extracts the snapshot time-series as CSV: one row per snapshot
+// event with aggregate occupancy columns, optionally widened to one used_<i>
+// column per node for per-host congestion plots.
+func runSeries(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("series", flag.ContinueOnError)
+	perNode := fs.Bool("per-node", false, "append one used_<i> column per node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := onePath(fs.Args())
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(out)
+	wroteHeader := false
+	rows := 0
+	err = eachEvent(path, func(ev obs.Event) error {
+		if ev.Type != obs.Snapshot {
+			return nil
+		}
+		if !wroteHeader {
+			header := []string{"t", "live_msgs", "live_copies", "contacts",
+				"queue", "used_total", "used_max"}
+			if *perNode {
+				for i := range ev.Used {
+					header = append(header, "used_"+strconv.Itoa(i))
+				}
+			}
+			if err := cw.Write(header); err != nil {
+				return err
+			}
+			wroteHeader = true
+		}
+		var total, max int64
+		for _, u := range ev.Used {
+			total += u
+			if u > max {
+				max = u
+			}
+		}
+		rec := []string{
+			strconv.FormatFloat(ev.T, 'g', -1, 64),
+			strconv.Itoa(ev.LiveMsgs),
+			strconv.Itoa(ev.LiveCopies),
+			strconv.Itoa(ev.Contacts),
+			strconv.Itoa(ev.Queue),
+			strconv.FormatInt(total, 10),
+			strconv.FormatInt(max, 10),
+		}
+		if *perNode {
+			for _, u := range ev.Used {
+				rec = append(rec, strconv.FormatInt(u, 10))
+			}
+		}
+		rows++
+		return cw.Write(rec)
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if rows == 0 {
+		return fmt.Errorf("%s: no snapshot events (run dtnsim with -snapshot-interval)", path)
+	}
+	return nil
+}

@@ -23,17 +23,17 @@ func TestParkTicksDeadlines(t *testing.T) {
 		want     int64
 	}{
 		{"both-static", 0, 0, 1, 500, 50, -1},
-		{"static-in-range", 0, 0, 1, 40, 50, 0},  // in range ⇒ near, never retired
-		{"static-at-range", 0, 0, 1, 50, 50, 0},  // boundary counts as in range
+		{"static-in-range", 0, 0, 1, 40, 50, 0},              // in range ⇒ near, never retired
+		{"static-at-range", 0, 0, 1, 50, 50, 0},              // boundary counts as in range
 		{"negative-speed-sum-guards", 0, -1, 1, 500, 50, -1}, // contract violation still safe
 		{"in-range", 2, 2, 1, 40, 50, 0},
 		{"exactly-at-range", 2, 2, 1, 50, 50, 0}, // lower bound < r ⇒ gap < 0
 		{"just-outside", 2, 2, 1, 54, 50, 0},     // gap ≈ 4, c·I = 4 ⇒ K = 0
 		{"one-tick-away", 2, 2, 1, 57, 50, 1},
-		{"equal-speeds", 3, 3, 1, 650, 50, 99},     // gap ≈ 600, c = 6
-		{"asymmetric", 0, 5, 1, 550, 50, 99},       // one mover carries the bound
-		{"long-interval", 1, 1, 30, 6050, 50, 99},  // denominator scales with tick length
-		{"teleporter", inf, 2, 1, 1e6, 50, 0},      // +Inf closing speed: checked every tick
+		{"equal-speeds", 3, 3, 1, 650, 50, 99},    // gap ≈ 600, c = 6
+		{"asymmetric", 0, 5, 1, 550, 50, 99},      // one mover carries the bound
+		{"long-interval", 1, 1, 30, 6050, 50, 99}, // denominator scales with tick length
+		{"teleporter", inf, 2, 1, 1e6, 50, 0},     // +Inf closing speed: checked every tick
 		{"crawler-caps", 1e-9, 0, 1, 1e6, 50, maxParkTicks},
 	}
 	for _, tc := range cases {

@@ -70,8 +70,15 @@ const (
 	// LinkFlap: the fault layer cut a live contact short (Node < Peer); a
 	// contact_down for the pair follows immediately.
 	LinkFlap
+	// Snapshot: a periodic whole-network state sample emitted by the
+	// world's sampler (LiveMsgs distinct buffered messages, LiveCopies
+	// total buffered copies, Contacts active links, Queue live engine
+	// events, Used per-node buffer occupancy in bytes). Snapshots ride the
+	// same deterministic JSONL stream as lifecycle events, giving offline
+	// tools the congestion signal without a second log.
+	Snapshot
 
-	numTypes = int(LinkFlap) + 1
+	numTypes = int(Snapshot) + 1
 )
 
 // String returns the stable wire name used in the JSONL log.
@@ -105,6 +112,8 @@ func (t Type) String() string {
 		return "node_up"
 	case LinkFlap:
 		return "link_flap"
+	case Snapshot:
+		return "snapshot"
 	default:
 		return "unknown"
 	}
@@ -125,6 +134,13 @@ type Event struct {
 	Latency  float64 // seconds from creation to delivery (delivered)
 	Priority float64 // policy drop score of the victim (dropped)
 	Kind     string  // transfer semantics (forwarded, transfer_start)
+
+	// Snapshot-only fields (Type == Snapshot); zero otherwise.
+	LiveMsgs   int     // distinct messages with at least one buffered copy
+	LiveCopies int     // buffered copies network-wide
+	Contacts   int     // active links at sample time
+	Queue      int     // live (non-canceled) engine events pending
+	Used       []int64 // per-node buffer occupancy in bytes, indexed by node
 }
 
 // AppendJSON appends the event as a single JSON object (no trailing newline)
@@ -180,6 +196,19 @@ func (e Event) AppendJSON(b []byte) []byte {
 		b = appendIntField(b, "peer", int64(e.Peer))
 		b = appendIntField(b, "size", e.Size)
 		b = appendStrField(b, "kind", e.Kind)
+	case Snapshot:
+		b = appendIntField(b, "live_msgs", int64(e.LiveMsgs))
+		b = appendIntField(b, "live_copies", int64(e.LiveCopies))
+		b = appendIntField(b, "contacts", int64(e.Contacts))
+		b = appendIntField(b, "queue", int64(e.Queue))
+		b = append(b, `,"used":[`...)
+		for i, u := range e.Used {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, u, 10)
+		}
+		b = append(b, ']')
 	}
 	return append(b, '}')
 }

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sdsrp/internal/msg"
+)
+
+// Forward is one committed replication in a message's provenance: the
+// sender, the receiver, the spray tokens the receiver obtained, and the
+// transfer kind ("spray", "spray-source", "relay", "handoff").
+type Forward struct {
+	T      float64 `json:"t"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Copies int     `json:"copies"`
+	Kind   string  `json:"kind"`
+}
+
+// Removal is one copy leaving a buffer: a policy eviction (cause "policy",
+// with the policy's drop score at eviction time) or a TTL sweep (cause
+// "expired").
+type Removal struct {
+	T        float64 `json:"t"`
+	Node     int     `json:"node"`
+	Cause    string  `json:"cause"`
+	Priority float64 `json:"priority"`
+}
+
+// Fate classifies a message's terminal state at the fold horizon.
+const (
+	// FateDelivered: the destination consumed the message.
+	FateDelivered = "delivered"
+	// FateExpired: every copy is gone and the last removal was a TTL sweep.
+	FateExpired = "expired"
+	// FateDropped: every copy is gone and the last removal was a policy
+	// eviction (the paper's buffer-management death).
+	FateDropped = "dropped"
+	// FateStranded: undelivered with copies still buffered at the horizon.
+	FateStranded = "stranded"
+)
+
+// MessageRecord is the folded lifecycle of one message: its identity, every
+// custody transition in stream order, and the reconstructed terminal state.
+// Field order is the stable JSONL schema — encoding/json emits struct
+// fields in declaration order, so same-seed ledgers are byte-identical.
+type MessageRecord struct {
+	ID            msg.ID    `json:"id"`
+	Source        int       `json:"source"`
+	Dest          int       `json:"dest"`
+	Created       float64   `json:"created"`
+	Size          int64     `json:"size"`
+	InitialCopies int       `json:"copies"`
+	Fate          string    `json:"fate"`
+	DeliveredAt   float64   `json:"delivered_at,omitempty"`
+	Latency       float64   `json:"latency,omitempty"`
+	Hops          int       `json:"hops,omitempty"`
+	Path          []int     `json:"path,omitempty"`
+	LiveCopies    int       `json:"live_copies,omitempty"`
+	Refused       int       `json:"refused,omitempty"`
+	Aborted       int       `json:"aborted,omitempty"`
+	Lost          int       `json:"lost,omitempty"`
+	Forwards      []Forward `json:"forwards,omitempty"`
+	Removals      []Removal `json:"removals,omitempty"`
+
+	delivered bool
+	// lastRelay is the node whose copy served the delivery; deliverIdx is
+	// len(Forwards) at delivery time, so path reconstruction ignores sprays
+	// that happened after the destination was already served.
+	lastRelay  int
+	deliverIdx int
+	// holders tracks which nodes currently buffer a copy, per the event
+	// stream. Internal: callers read LiveCopies after finalize.
+	holders map[int]bool
+}
+
+// Ledger folds a run's event stream into per-message provenance records —
+// the offline complement of the live Metrics sink. It implements Tracer, so
+// it can ride a run directly (via Multi) or replay a JSONL log through
+// LogReader.
+//
+// Known blind spots, inherent to the event vocabulary: ACK-immunization
+// purges and churn buffer wipes remove copies without emitting per-message
+// events, so under Scenario.UseAcks or fault churn with buffer wipe the
+// ledger over-counts live copies (such messages lean toward FateStranded).
+// All counters cross-checked by `dtntrace stats` are exact regardless.
+type Ledger struct {
+	recs  map[msg.ID]*MessageRecord
+	order []*MessageRecord
+	// deliveries keeps delivered records in delivery order: latency
+	// aggregation must accumulate in the same order as the collector's
+	// running sum for bit-identical means.
+	deliveries []*MessageRecord
+	horizon    float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{recs: make(map[msg.ID]*MessageRecord)}
+}
+
+// rec returns the record for id, creating a stub for messages whose created
+// event predates the fold (truncated logs).
+func (l *Ledger) rec(id msg.ID) *MessageRecord {
+	r, ok := l.recs[id]
+	if !ok {
+		r = &MessageRecord{ID: id, Source: -1, Dest: -1, holders: make(map[int]bool)}
+		l.recs[id] = r
+		l.order = append(l.order, r)
+	}
+	return r
+}
+
+// Emit implements Tracer, folding one event into the ledger.
+func (l *Ledger) Emit(ev Event) {
+	if ev.T > l.horizon {
+		l.horizon = ev.T
+	}
+	switch ev.Type {
+	case MessageCreated:
+		r := l.rec(ev.Msg)
+		r.Source, r.Dest = ev.Node, ev.Peer
+		r.Created, r.Size, r.InitialCopies = ev.T, ev.Size, ev.Copies
+		r.holders[ev.Node] = true
+	case MessageForwarded:
+		r := l.rec(ev.Msg)
+		r.Forwards = append(r.Forwards, Forward{T: ev.T, From: ev.Node,
+			To: ev.Peer, Copies: ev.Copies, Kind: ev.Kind})
+		r.holders[ev.Peer] = true
+		if ev.Kind == "handoff" {
+			delete(r.holders, ev.Node)
+		}
+	case MessageDelivered:
+		r := l.rec(ev.Msg)
+		if !r.delivered {
+			r.delivered = true
+			r.DeliveredAt, r.Latency, r.Hops = ev.T, ev.Latency, ev.Hops
+			r.lastRelay, r.deliverIdx = ev.Node, len(r.Forwards)
+			l.deliveries = append(l.deliveries, r)
+		}
+		// The delivering node discards its now-useless copy.
+		delete(r.holders, ev.Node)
+	case MessageDropped:
+		r := l.rec(ev.Msg)
+		r.Removals = append(r.Removals, Removal{T: ev.T, Node: ev.Node,
+			Cause: "policy", Priority: ev.Priority})
+		delete(r.holders, ev.Node)
+	case MessageExpired:
+		r := l.rec(ev.Msg)
+		r.Removals = append(r.Removals, Removal{T: ev.T, Node: ev.Node,
+			Cause: "expired"})
+		delete(r.holders, ev.Node)
+	case MessageRefused:
+		l.rec(ev.Msg).Refused++
+	case TransferAbort:
+		l.rec(ev.Msg).Aborted++
+	case TransferLost:
+		// The preceding forwarded event credited the receiver with a copy
+		// the black-hole (or lossy radio) never stored.
+		r := l.rec(ev.Msg)
+		r.Lost++
+		delete(r.holders, ev.Peer)
+	}
+}
+
+// Horizon returns the timestamp of the last folded event.
+func (l *Ledger) Horizon() float64 { return l.horizon }
+
+// Len returns the number of messages seen.
+func (l *Ledger) Len() int { return len(l.order) }
+
+// Deliveries returns delivered records in delivery order (finalized).
+func (l *Ledger) Deliveries() []*MessageRecord {
+	l.finalize()
+	return l.deliveries
+}
+
+// Records returns every message record in creation order with fates,
+// live-copy counts, and delivery paths finalized.
+func (l *Ledger) Records() []*MessageRecord {
+	l.finalize()
+	return l.order
+}
+
+// Record returns the finalized record for one message (nil when unseen).
+func (l *Ledger) Record(id msg.ID) *MessageRecord {
+	r, ok := l.recs[id]
+	if !ok {
+		return nil
+	}
+	l.finalize()
+	return r
+}
+
+func (l *Ledger) finalize() {
+	for _, r := range l.order {
+		r.LiveCopies = len(r.holders)
+		switch {
+		case r.delivered:
+			r.Fate = FateDelivered
+			r.reconstructPath()
+		case r.LiveCopies > 0:
+			r.Fate = FateStranded
+		case len(r.Removals) > 0 && r.Removals[len(r.Removals)-1].Cause == "expired":
+			r.Fate = FateExpired
+		default:
+			// Every copy died by eviction (including drop-on-arrival at the
+			// source: a created event immediately followed by a drop).
+			r.Fate = FateDropped
+		}
+	}
+}
+
+// reconstructPath rebuilds the custody chain of the delivered copy: walk
+// backwards from the delivering relay through the forward that gave each
+// carrier its copy (the latest one before the carrier passed it on, so
+// re-received copies resolve to the right lineage), terminating at the
+// originator. The result runs source → … → lastRelay → dest.
+func (r *MessageRecord) reconstructPath() {
+	rev := []int{r.Dest, r.lastRelay}
+	cur, idx := r.lastRelay, r.deliverIdx
+	for {
+		found := -1
+		for i := idx - 1; i >= 0; i-- {
+			if r.Forwards[i].To == cur {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break // cur acquired the copy by originating it
+		}
+		cur, idx = r.Forwards[found].From, found
+		rev = append(rev, cur)
+	}
+	path := make([]int, len(rev))
+	for i, n := range rev {
+		path[len(rev)-1-i] = n
+	}
+	r.Path = path
+}
+
+// FoldLog replays a JSONL event log (any io.Reader; use OpenLog for files)
+// into a fresh ledger and the event-count registry.
+func FoldLog(r io.Reader) (*Ledger, *Metrics, error) {
+	l := NewLedger()
+	m := NewMetrics()
+	lr := NewLogReader(r)
+	for {
+		ev, err := lr.Next()
+		if err == io.EOF {
+			return l, m, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		l.Emit(ev)
+		m.Emit(ev)
+	}
+}
+
+// WriteJSONL writes every finalized record as one JSON object per line, in
+// creation order. Same seed ⇒ byte-identical output: records are emitted
+// from the deterministic order slice, never from map iteration.
+func (l *Ledger) WriteJSONL(w io.Writer) error {
+	for _, r := range l.Records() {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("obs: encoding ledger record %d: %w", r.ID, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

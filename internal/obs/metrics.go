@@ -3,19 +3,31 @@ package obs
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"sort"
 	"strings"
 )
 
+// histMinExp is the smallest power-of-two exponent the histogram resolves:
+// bucket 0 collapses everything below 2^histMinExp (≈ 1 µs when observing
+// seconds). Sub-unit values — sub-second latencies, fractional drop scores
+// in [0,1) — therefore keep factor-of-two resolution instead of quantizing
+// to zero.
+const histMinExp = -20
+
+// histBuckets spans exponents histMinExp … 64: bucket i (i ≥ 1) holds
+// values in [2^(i-1+histMinExp), 2^(i+histMinExp)).
+const histBuckets = 64 - histMinExp + 1
+
 // Histogram is a log2-bucketed distribution of non-negative values: cheap
 // to feed from a hot path, good enough for order-of-magnitude quantiles of
-// transfer sizes and latencies.
+// transfer sizes, latencies, and drop scores. Resolution is a factor of two
+// across the whole range [2^-20, 2^64); values below 2^-20 collapse into
+// bucket 0 and quantile-estimate as 0.
 type Histogram struct {
 	count    uint64
 	sum      float64
 	min, max float64
-	buckets  [65]uint64 // bucket i holds values v with bits.Len64(v) == i
+	buckets  [histBuckets]uint64
 }
 
 // Observe records v. Negative values clamp to 0.
@@ -35,10 +47,19 @@ func (h *Histogram) Observe(v float64) {
 }
 
 func bucketOf(v float64) int {
-	if v >= math.MaxUint64 {
-		return 64
+	if v <= 0 {
+		return 0
 	}
-	return bits.Len64(uint64(v))
+	// v = f·2^exp with f ∈ [0.5,1), so v ∈ [2^(exp-1), 2^exp).
+	_, exp := math.Frexp(v)
+	b := exp - histMinExp
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
 }
 
 // Count returns the number of observations.
@@ -62,8 +83,10 @@ func (h *Histogram) Min() float64 { return h.min }
 func (h *Histogram) Max() float64 { return h.max }
 
 // Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]):
-// the upper edge of the bucket containing the q-th observation. Resolution
-// is a factor of two — sufficient for perf triage, not for paper metrics.
+// the upper edge of the bucket containing the q-th observation, clamped to
+// the observed maximum. Resolution is a factor of two down to 2^-20
+// (values below that report as 0) — sufficient for perf triage, not for
+// paper metrics.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -83,9 +106,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 		seen += c
 		if seen >= rank {
 			if i == 0 {
+				// Below the 2^histMinExp resolution floor: effectively zero.
 				return 0
 			}
-			upper := math.Ldexp(1, i) - 1 // max value with bit length i
+			if i == histBuckets-1 {
+				// Overflow bucket: its nominal edge understates the contents.
+				return h.max
+			}
+			upper := math.Ldexp(1, i+histMinExp) // exclusive bucket upper edge
 			if upper > h.max {
 				upper = h.max
 			}
@@ -138,6 +166,15 @@ func (m *Metrics) Count(t Type) uint64 {
 		return 0
 	}
 	return m.counts[t]
+}
+
+// Total returns the number of events seen across all types.
+func (m *Metrics) Total() uint64 {
+	var n uint64
+	for _, c := range m.counts {
+		n += c
+	}
+	return n
 }
 
 // DropsAt returns the policy-drop count at one host.

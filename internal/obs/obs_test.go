@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,8 @@ func TestAppendJSONPerType(t *testing.T) {
 			`{"t":120,"type":"node_up","node":3}`},
 		{Event{T: 130, Type: LinkFlap, Node: 0, Peer: 4},
 			`{"t":130,"type":"link_flap","node":0,"peer":4}`},
+		{Event{T: 140, Type: Snapshot, LiveMsgs: 3, LiveCopies: 7, Contacts: 2, Queue: 15, Used: []int64{0, 25000, 50000}},
+			`{"t":140,"type":"snapshot","live_msgs":3,"live_copies":7,"contacts":2,"queue":15,"used":[0,25000,50000]}`},
 	}
 	for _, c := range cases {
 		got := string(c.ev.AppendJSON(nil))
@@ -153,12 +156,83 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("count/min/max = %v/%v/%v", h.Count(), h.Min(), h.Max())
 	}
 	med := h.Quantile(0.5)
-	// Log2 buckets: the median (50) lands in bucket [32,63].
-	if med < 50 || med > 63 {
-		t.Errorf("median estimate %v outside [50,63]", med)
+	// Log2 buckets: the median (50) lands in the [32,64) bucket, whose upper
+	// edge is 64.
+	if med < 50 || med > 64 {
+		t.Errorf("median estimate %v outside [50,64]", med)
 	}
 	if q := h.Quantile(1); q != 100 {
 		t.Errorf("q100 = %v, want clamped max 100", q)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	var one Histogram
+	one.Observe(7)
+	// A single observation occupies one bucket; every quantile clamps to it.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("single-value Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0); got < 1 || got > 2 {
+		t.Errorf("Quantile(0) = %v, want within first occupied bucket [1,2]", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want clamped max 100", got)
+	}
+
+	// Values beyond the largest bucket edge clamp into the top bucket and
+	// quantile-estimate as the observed max.
+	var big Histogram
+	big.Observe(math.MaxFloat64)
+	if got := big.Quantile(0.5); got != math.MaxFloat64 {
+		t.Errorf("overflow Quantile = %v, want MaxFloat64", got)
+	}
+}
+
+func TestHistogramSubUnitResolution(t *testing.T) {
+	// The old uint64-truncating bucketer collapsed everything in [0,1) into
+	// one bucket, so distributions of drop scores or sub-second latencies
+	// quantized to zero. Fractional values must now keep factor-of-two
+	// resolution.
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(0.01)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.9)
+	}
+	med := h.Quantile(0.5)
+	if med <= 0 || med > 0.02 {
+		t.Errorf("sub-unit median = %v, want in (0, 0.02]", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.5 || p99 > 1 {
+		t.Errorf("sub-unit p99 = %v, want in [0.5, 1]", p99)
+	}
+
+	// Below the 2^-20 resolution floor the estimate degrades to 0 — by
+	// contract, not by accident.
+	var tiny Histogram
+	tiny.Observe(1e-9)
+	if got := tiny.Quantile(0.5); got != 0 {
+		t.Errorf("sub-floor Quantile = %v, want 0", got)
+	}
+	if tiny.Max() != 1e-9 {
+		t.Errorf("Max = %v, want exact 1e-9", tiny.Max())
 	}
 }
 

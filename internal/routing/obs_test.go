@@ -41,6 +41,14 @@ func TestNilTracerEmitNoAlloc(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() { h.emit(ev) }); n != 0 {
 		t.Fatalf("nil-tracer emit allocated %v times per run, want 0", n)
 	}
+	// Snapshot events carry a slice field; passing one through the guard
+	// must still be free when the tracer is nil.
+	used := []int64{100, 200}
+	snap := obs.Event{T: 2, Type: obs.Snapshot, LiveMsgs: 1, LiveCopies: 2,
+		Contacts: 1, Queue: 3, Used: used}
+	if n := testing.AllocsPerRun(1000, func() { h.emit(snap) }); n != 0 {
+		t.Fatalf("nil-tracer snapshot emit allocated %v times per run, want 0", n)
+	}
 	// The full eviction path with a nil tracer must not allocate for
 	// tracing either: DropMessage's priority computation is guarded.
 	m := tn.message(1, 0, 1, 8, 100, 3600)

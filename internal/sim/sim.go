@@ -28,6 +28,10 @@ type event struct {
 	// unrelated event that later reuses the same allocation.
 	gen uint64
 	fn  Handler
+	// owner backs the engine's live-depth accounting: Cancel tells the
+	// owner a queued event went dead. It is nil for control blocks that are
+	// never queued (Every's ticker handle).
+	owner *Engine
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero
@@ -41,8 +45,11 @@ type EventID struct {
 // time comes. Canceling an already-run or already-canceled event is a no-op
 // (the generation check makes a handle to a recycled event inert).
 func (id EventID) Cancel() {
-	if id.ev != nil && id.ev.gen == id.gen {
+	if id.ev != nil && id.ev.gen == id.gen && !id.ev.canceled {
 		id.ev.canceled = true
+		if id.ev.owner != nil {
+			id.ev.owner.canceledQueued++
+		}
 	}
 }
 
@@ -64,6 +71,9 @@ type Engine struct {
 	// scheduling allocation-free. Capacity is bounded by the peak queue
 	// depth.
 	free []*event
+	// canceledQueued counts queued-but-canceled events awaiting reap, so
+	// Live can report the true pending depth without walking the heap.
+	canceledQueued int
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -119,7 +129,7 @@ func (e *Engine) alloc() *event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &event{}
+	return &event{owner: e}
 }
 
 // recycle returns a popped event to the free-list. Bumping the generation
@@ -191,6 +201,7 @@ func (e *Engine) Run(horizon float64) {
 		}
 		e.queue.Pop()
 		if ev.canceled {
+			e.canceledQueued--
 			e.recycle(ev)
 			continue
 		}
@@ -207,3 +218,8 @@ func (e *Engine) Run(horizon float64) {
 // Pending returns the number of events in the queue, including canceled
 // events not yet reaped. Intended for tests and diagnostics.
 func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Live returns the number of queued events that will actually dispatch —
+// Pending minus canceled events awaiting reap. This is the queue-depth
+// signal the observability snapshots record.
+func (e *Engine) Live() int { return e.queue.Len() - e.canceledQueued }

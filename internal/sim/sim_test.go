@@ -168,6 +168,64 @@ func TestNestedScheduling(t *testing.T) {
 	}
 }
 
+func TestLiveExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	ids := make([]EventID, 0, 4)
+	for i := 1; i <= 4; i++ {
+		ids = append(ids, e.At(float64(i*10), func(float64) {}))
+	}
+	if e.Live() != 4 || e.Pending() != 4 {
+		t.Fatalf("Live/Pending = %d/%d, want 4/4", e.Live(), e.Pending())
+	}
+	ids[1].Cancel()
+	ids[3].Cancel()
+	// Canceled events still occupy the heap but no longer count as live.
+	if e.Live() != 2 || e.Pending() != 4 {
+		t.Fatalf("after cancel: Live/Pending = %d/%d, want 2/4", e.Live(), e.Pending())
+	}
+	// Double-cancel must not double-decrement.
+	ids[1].Cancel()
+	if e.Live() != 2 {
+		t.Fatalf("double-cancel changed Live to %d", e.Live())
+	}
+	// Canceled events are reaped when their time comes: after running past
+	// t=20 the first dead event is gone from the heap and the counter.
+	e.Run(25)
+	if e.Live() != 1 || e.Pending() != 2 {
+		t.Fatalf("mid-run: Live/Pending = %d/%d, want 1/2", e.Live(), e.Pending())
+	}
+	e.Run(100)
+	if e.Live() != 0 || e.Pending() != 0 {
+		t.Fatalf("drained: Live/Pending = %d/%d, want 0/0", e.Live(), e.Pending())
+	}
+}
+
+func TestLiveWithEveryCancel(t *testing.T) {
+	// Every's control handle is never queued; canceling the ticker must not
+	// disturb the live-depth counter.
+	e := NewEngine()
+	count := 0
+	var id EventID
+	id = e.Every(10, func(now float64) {
+		count++
+		if count == 2 {
+			id.Cancel()
+		}
+	})
+	e.Run(100)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if e.Live() != 0 || e.Pending() != 0 {
+		t.Fatalf("Live/Pending = %d/%d, want 0/0", e.Live(), e.Pending())
+	}
+	// A fresh schedule keeps working after the ticker shutdown.
+	e.At(200, func(float64) {})
+	if e.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", e.Live())
+	}
+}
+
 func TestProcessedCount(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 10; i++ {

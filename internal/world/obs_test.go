@@ -156,6 +156,156 @@ func TestTracedRunMatchesCollector(t *testing.T) {
 	}
 }
 
+// runTracedSnapshots is runTraced with the windowed sampler enabled.
+func runTracedSnapshots(t *testing.T, sc config.Scenario, interval float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	w, err := Build(sc, WithTracer(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableSnapshots(interval); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, w)
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRunDeterministic extends the golden-log property to the
+// sampler: snapshot events ride the same stream and must not disturb
+// byte-identical replay.
+func TestSnapshotRunDeterministic(t *testing.T) {
+	sc := tinyTracedScenario()
+	a := runTracedSnapshots(t, sc, 300)
+	b := runTracedSnapshots(t, sc, 300)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different snapshot-bearing event logs")
+	}
+	if !bytes.Contains(a, []byte(`"type":"snapshot"`)) {
+		t.Fatal("no snapshot events in the log")
+	}
+	// The sampler must not perturb the simulation itself: stripping the
+	// snapshot lines recovers the sampler-less log exactly.
+	plain := runTraced(t, sc)
+	var stripped bytes.Buffer
+	for _, line := range bytes.Split(a, []byte("\n")) {
+		if len(line) == 0 || bytes.Contains(line, []byte(`"type":"snapshot"`)) {
+			continue
+		}
+		stripped.Write(line)
+		stripped.WriteByte('\n')
+	}
+	if !bytes.Equal(stripped.Bytes(), plain) {
+		t.Fatal("enabling snapshots changed the lifecycle event stream")
+	}
+}
+
+// TestSnapshotCadenceAndShape parses the sampled events and checks cadence,
+// per-node vector width, and internal consistency.
+func TestSnapshotCadenceAndShape(t *testing.T) {
+	sc := tinyTracedScenario()
+	const interval = 300.0
+	log := runTracedSnapshots(t, sc, interval)
+	var snaps []obs.Event
+	for _, line := range bytes.Split(log, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := obs.ParseEvent(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == obs.Snapshot {
+			snaps = append(snaps, ev)
+		}
+	}
+	want := int(sc.Duration / interval)
+	if len(snaps) != want {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), want)
+	}
+	for i, s := range snaps {
+		if wantT := interval * float64(i+1); s.T != wantT {
+			t.Errorf("snapshot %d at t=%v, want %v", i, s.T, wantT)
+		}
+		if len(s.Used) != sc.Nodes {
+			t.Errorf("snapshot %d: used vector has %d entries, want %d nodes", i, len(s.Used), sc.Nodes)
+		}
+		if s.LiveMsgs > s.LiveCopies {
+			t.Errorf("snapshot %d: %d distinct messages exceed %d copies", i, s.LiveMsgs, s.LiveCopies)
+		}
+		if s.Queue < 0 {
+			t.Errorf("snapshot %d: negative live queue depth %d", i, s.Queue)
+		}
+	}
+}
+
+// TestSnapshotMatchesResult cross-checks a post-run Snapshot against the
+// world's own end-of-run accounting.
+func TestSnapshotMatchesResult(t *testing.T) {
+	sc := tinyTracedScenario()
+	ring := obs.NewRing(8)
+	w, err := Build(sc, WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, w)
+	snap := w.Snapshot(sc.Duration)
+	var liveCopies int
+	liveIDs := map[int]bool{}
+	for _, f := range w.MessageFates() {
+		liveCopies += f.LiveCopies
+		if f.LiveCopies > 0 {
+			liveIDs[int(f.ID)] = true
+		}
+	}
+	if snap.LiveCopies != liveCopies {
+		t.Errorf("snapshot copies %d, tracker sum %d", snap.LiveCopies, liveCopies)
+	}
+	if snap.LiveMsgs != len(liveIDs) {
+		t.Errorf("snapshot live msgs %d, tracker %d", snap.LiveMsgs, len(liveIDs))
+	}
+	if snap.Contacts != w.Manager.ActiveLinks() {
+		t.Errorf("snapshot contacts %d, manager %d", snap.Contacts, w.Manager.ActiveLinks())
+	}
+	var used int64
+	for _, u := range snap.Used {
+		used += u
+	}
+	var bufUsed int64
+	for _, h := range w.Hosts {
+		bufUsed += h.Buffer().Used()
+	}
+	if used != bufUsed {
+		t.Errorf("snapshot used sum %d, buffers %d", used, bufUsed)
+	}
+}
+
+// TestEnableSnapshotsRejectsBadConfig pins the argument contract.
+func TestEnableSnapshotsRejectsBadConfig(t *testing.T) {
+	sc := tinyTracedScenario()
+	w, err := Build(sc, WithTracer(obs.NewRing(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableSnapshots(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := w.EnableSnapshots(-5); err == nil {
+		t.Error("negative interval accepted")
+	}
+	bare, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.EnableSnapshots(60); err == nil {
+		t.Error("tracer-less world accepted a snapshot sampler")
+	}
+}
+
 // TestRunStatsPopulated checks the engine perf digest lands in the result.
 func TestRunStatsPopulated(t *testing.T) {
 	sc := tinyTracedScenario()

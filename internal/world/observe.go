@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"sdsrp/internal/msg"
+	"sdsrp/internal/obs"
 )
 
 // TimelinePoint is one periodic snapshot of global run state, for
@@ -62,6 +63,52 @@ func (w *World) EnableTimeline(interval float64) error {
 
 // Timeline returns the snapshots collected so far.
 func (w *World) Timeline() []TimelinePoint { return w.timeline }
+
+// EnableSnapshots schedules a whole-network state sample every interval
+// seconds of simulation time, emitted as an obs.Snapshot event through the
+// run's tracer (call before Run). The sampler rides the same deterministic
+// event stream as lifecycle events, so `dtntrace series` can plot buffer
+// occupancy, live copies, active contacts, and engine queue depth over time
+// from the one JSONL log. A non-positive interval or a tracer-less world is
+// rejected.
+func (w *World) EnableSnapshots(interval float64) error {
+	if interval <= 0 {
+		return fmt.Errorf("world: snapshot interval must be positive, got %v", interval)
+	}
+	if w.tracer == nil {
+		return fmt.Errorf("world: snapshots need an event sink; build with WithTracer")
+	}
+	w.Engine.Every(interval, func(now float64) {
+		w.tracer.Emit(w.Snapshot(now))
+	})
+	return nil
+}
+
+// Snapshot builds the instantaneous network-state event at time now: live
+// message/copy census from the buffers, active link count, live engine
+// queue depth, and per-node buffer occupancy.
+func (w *World) Snapshot(now float64) obs.Event {
+	used := make([]int64, len(w.Hosts))
+	copies := 0
+	distinct := make(map[msg.ID]struct{})
+	for i, h := range w.Hosts {
+		used[i] = h.Buffer().Used()
+		items := h.Buffer().Items()
+		copies += len(items)
+		for _, s := range items {
+			distinct[s.M.ID] = struct{}{}
+		}
+	}
+	return obs.Event{
+		T:          now,
+		Type:       obs.Snapshot,
+		LiveMsgs:   len(distinct),
+		LiveCopies: copies,
+		Contacts:   w.Manager.ActiveLinks(),
+		Queue:      w.Engine.Live(),
+		Used:       used,
+	}
+}
 
 // WriteTimelineCSV writes the timeline as CSV with a header row.
 func WriteTimelineCSV(out io.Writer, pts []TimelinePoint) error {

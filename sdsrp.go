@@ -82,6 +82,11 @@ type (
 	RingTracer = obs.Ring
 	// RunStats is the engine-level performance digest of one run.
 	RunStats = obs.RunStats
+	// MessageLedger folds an event stream into per-message provenance
+	// records (lifecycle, custody chain, terminal fate).
+	MessageLedger = obs.Ledger
+	// MessageRecord is one message's reconstructed lifecycle.
+	MessageRecord = obs.MessageRecord
 	// BuildOption customizes Build beyond the scenario (e.g. WithTracer).
 	BuildOption = world.BuildOption
 )
@@ -101,6 +106,23 @@ func NewTraceMetrics() *obs.Metrics { return obs.NewMetrics() }
 
 // MultiTracer fans events out to every non-nil sink (nil when none).
 func MultiTracer(sinks ...Tracer) Tracer { return obs.Multi(sinks...) }
+
+// NewMessageLedger returns an empty provenance ledger sink.
+func NewMessageLedger() *obs.Ledger { return obs.NewLedger() }
+
+// FoldEventLog replays a JSONL event stream into a provenance ledger and a
+// metrics registry.
+func FoldEventLog(r io.Reader) (*MessageLedger, *TraceMetrics, error) {
+	return obs.FoldLog(r)
+}
+
+// OpenEventLog opens a JSONL event log for reading, transparently
+// decompressing paths ending in .gz.
+func OpenEventLog(path string) (io.ReadCloser, error) { return obs.OpenLog(path) }
+
+// CreateEventLog creates a JSONL event log for writing, transparently
+// compressing paths ending in .gz.
+func CreateEventLog(path string) (io.WriteCloser, error) { return obs.CreateLog(path) }
 
 // Policy-extension types.
 type (
