@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke bench-report trace-smoke fuzz fuzz-smoke experiments check resilience examples clean
+.PHONY: all build vet lint test test-short race bench bench-smoke bench-report trace-smoke resume-smoke fuzz fuzz-smoke experiments check resilience examples clean
 
 all: build vet lint test
 
@@ -78,6 +78,27 @@ trace-smoke:
 		echo "trace-smoke: different seeds reported identical" && exit 1; \
 	else echo "divergence detected across seeds (expected)"; fi && \
 	$$tmp/dtntrace series $$tmp/a.jsonl.gz | head -3 && \
+	rm -rf $$tmp
+
+# Crash-safety gate (~15 s): run a sweep uninterrupted for reference TSVs,
+# rerun it with a run journal and SIGINT it mid-sweep (graceful drain), chop
+# the journal tail to simulate a torn final append, then resume — and
+# require the resumed TSVs byte-identical to the uninterrupted reference.
+# On a machine fast enough to finish before the kill the resume degrades to
+# a pure journal replay, which still gates byte-identity.
+RESUME_SMOKE_FLAGS = -run fig8copies -scale 0.5 -nodes 60 -workers 1 -no-chart -quiet
+resume-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments && \
+	$$tmp/experiments $(RESUME_SMOKE_FLAGS) -out $$tmp/ref > $$tmp/ref.txt && \
+	{ $$tmp/experiments $(RESUME_SMOKE_FLAGS) -journal $$tmp/runs.jsonl \
+		-out $$tmp/res > /dev/null 2>&1 & pid=$$!; \
+	  sleep 1; kill -INT $$pid 2>/dev/null; wait $$pid; :; } && \
+	truncate -s -7 $$tmp/runs.jsonl && \
+	$$tmp/experiments $(RESUME_SMOKE_FLAGS) -journal $$tmp/runs.jsonl -resume \
+		-out $$tmp/res > $$tmp/resumed.txt && \
+	diff -r $$tmp/ref $$tmp/res && diff $$tmp/ref.txt $$tmp/resumed.txt && \
+	echo "resume-smoke: resumed sweep byte-identical to uninterrupted reference" && \
 	rm -rf $$tmp
 
 # Short fuzzing bursts over the trace parsers.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +56,7 @@ func main() {
 		snapInterval     = flag.Float64("snapshot-interval", 0, "emit a snapshot event into the event log every N sim-seconds (0 = off; needs -events)")
 		profileOut       = flag.String("profile", "", "write a CPU profile of the run to this path")
 		scanMode         = flag.String("scan", "", "connectivity scan strategy: lazy (default) or naive; both are byte-identical")
+		maxEvents        = flag.Uint64("max-events", 0, "stop the run after this many engine events and report partial metrics (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -148,6 +150,9 @@ func main() {
 	if *energyCap > 0 {
 		sc.Energy = config.Energy{Capacity: *energyCap, ScanPerSec: 0.5, TxPerSec: 15, RxPerSec: 10}
 	}
+	if *maxEvents > 0 {
+		sc.MaxEvents = *maxEvents
+	}
 	if *configOut != "" {
 		if err := config.Save(sc, *configOut); err != nil {
 			fatal("%v", err)
@@ -198,7 +203,13 @@ func main() {
 		}()
 	}
 	res, err := w.Run()
-	if err != nil {
+	var budget *world.BudgetError
+	if errors.As(err, &budget) {
+		// A budget stop is a deliberate, deterministic cutoff: report how
+		// far the run got and print the (partial) metrics below.
+		fmt.Printf("budget          exceeded: %d events dispatched (max %d), stopped at sim time %.1fs of %.0fs\n",
+			budget.Events, budget.MaxEvents, budget.SimTime, sc.Duration)
+	} else if err != nil {
 		fatal("%v", err)
 	}
 	if jsonl != nil {

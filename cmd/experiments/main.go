@@ -13,12 +13,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sdsrp"
@@ -40,6 +43,10 @@ func main() {
 		noChart = flag.Bool("no-chart", false, "suppress ASCII charts")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		check   = flag.Bool("check", false, "after regenerating, verify the paper's qualitative claims (exit 1 on violation; calibrated to full scale)")
+		journal = flag.String("journal", "", "record every finished run to this crash-safe JSONL manifest")
+		resume  = flag.Bool("resume", false, "skip runs already journaled as done (needs -journal)")
+		retries = flag.Int("retries", 0, "re-attempts per transiently failed run")
+		timeout = flag.Duration("timeout", 0, "per-run wall-clock budget, e.g. 90s (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -55,10 +62,39 @@ func main() {
 	}
 
 	opts := sdsrp.ExperimentOptions{
-		Scale:   *scale,
-		Nodes:   *nodes,
-		Workers: *workers,
+		Scale:      *scale,
+		Nodes:      *nodes,
+		Workers:    *workers,
+		Retries:    *retries,
+		RunTimeout: *timeout,
 	}
+	if *resume && *journal == "" {
+		fatal("-resume needs -journal")
+	}
+	if *journal != "" {
+		j, err := sdsrp.OpenRunJournal(*journal)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer j.Close()
+		opts.Journal = j
+		opts.Resume = *resume
+	}
+
+	// First SIGINT/SIGTERM drains: in-flight runs finish and are journaled,
+	// unstarted runs are left for -resume. A second signal force-quits.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\nexperiments: interrupt — draining in-flight runs (interrupt again to force quit)")
+		close(interrupt)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: forced exit")
+		os.Exit(130)
+	}()
+	opts.Interrupt = interrupt
 	for _, s := range strings.Split(*seeds, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
 		if err != nil {
@@ -68,13 +104,17 @@ func main() {
 	}
 	if !*quiet {
 		opts.ProgressStats = func(p sdsrp.ExperimentProgress) {
+			var resumed string
+			if p.Skipped > 0 {
+				resumed = fmt.Sprintf("  (%d resumed)", p.Skipped)
+			}
 			if p.Done == p.Total {
-				fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %s%s\n",
-					p.Done, p.Total, p.Elapsed.Round(time.Millisecond), strings.Repeat(" ", 12))
+				fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %s%s%s\n",
+					p.Done, p.Total, p.Elapsed.Round(time.Millisecond), resumed, strings.Repeat(" ", 12))
 				return
 			}
-			fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %s  eta %s   ",
-				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %s  eta %s%s   ",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second), resumed)
 		}
 	}
 
@@ -95,6 +135,14 @@ func main() {
 		}
 		start := time.Now()
 		panels, err := sdsrp.RunExperiment(name, opts)
+		if errors.Is(err, sdsrp.ErrSweepInterrupted) {
+			fmt.Fprintf(os.Stderr, "experiments: %s interrupted; finished runs are journaled", name)
+			if *journal != "" {
+				fmt.Fprintf(os.Stderr, " — rerun with -journal %s -resume to continue", *journal)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(130)
+		}
 		if err != nil {
 			fatal("%s: %v", name, err)
 		}

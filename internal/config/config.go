@@ -158,6 +158,14 @@ type Scenario struct {
 	// roles). The zero value disables it entirely; see internal/fault.
 	Faults fault.Config
 
+	// MaxEvents, when > 0, bounds the total number of engine events a run
+	// may dispatch; the run stops with world.ErrBudgetExceeded once the
+	// budget is exhausted. The cutoff depends only on the event stream, so
+	// it is deterministic: the same scenario always stops at the same
+	// event. 0 (the default) leaves the run unbounded. This is runaway
+	// protection for sweeps and services, not a modeling knob.
+	MaxEvents uint64
+
 	// RecordIntermeeting enables the Fig. 3 sample recorder.
 	RecordIntermeeting bool
 	// RecordContacts logs every finished contact so the run can be exported

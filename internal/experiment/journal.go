@@ -1,0 +1,462 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/network"
+	"sdsrp/internal/obs"
+	"sdsrp/internal/stats"
+	"sdsrp/internal/world"
+)
+
+// Journal entry statuses.
+const (
+	// StatusDone marks a run that completed and carries its Result; resume
+	// skips these.
+	StatusDone = "done"
+	// StatusFailed marks a run whose every attempt errored; resume re-runs
+	// these.
+	StatusFailed = "failed"
+)
+
+// Entry is one journaled run outcome: the scenario's content address plus
+// enough of the result to make a resumed sweep byte-identical to an
+// uninterrupted one without re-executing the run. Seed, policy, and name are
+// recorded redundantly (they are folded into the digest) so the journal
+// stays greppable by humans.
+type Entry struct {
+	Digest   string `json:"digest"`
+	Name     string `json:"name"`
+	Seed     uint64 `json:"seed"`
+	Policy   string `json:"policy"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	// Error holds the final attempt's error text for failed entries.
+	Error string `json:"error,omitempty"`
+	// Result is present iff Status is StatusDone.
+	Result *JournalResult `json:"result,omitempty"`
+}
+
+// F64 is a float64 that survives the JSON round trip bit-for-bit: finite
+// values use Go's shortest round-trip number formatting, and the values
+// plain JSON cannot encode (±Inf from a zero-delivery overhead ratio, NaN)
+// are spelled as quoted strings. Without this, journaling a Result with
+// OverheadRatio = +Inf would fail outright.
+type F64 float64
+
+// MarshalJSON encodes finite values as JSON numbers and non-finite values
+// as the strings "+Inf", "-Inf", and "NaN".
+func (f F64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (f *F64) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"+Inf"`:
+		*f = F64(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = F64(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = F64(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = F64(v)
+	return nil
+}
+
+// JournalResult is the wire form of a world.Result. Float fields use F64 so
+// the stored metrics round-trip bit-exactly; the scenario is stored in its
+// resolved form (world.Build fills Nodes and Area for trace-driven and
+// group scenarios), so a reloaded Result equals the live one field for
+// field.
+type JournalResult struct {
+	Scenario            config.Scenario `json:"scenario"`
+	Summary             summaryWire     `json:"summary"`
+	Contacts            int             `json:"contacts"`
+	MeanContactDuration F64             `json:"mean_contact_duration"`
+	Energy              energyWire      `json:"energy"`
+	MeanIntermeeting    F64             `json:"mean_intermeeting"`
+	ExpFitError         F64             `json:"exp_fit_error"`
+	IntermeetingN       int             `json:"intermeeting_n"`
+	Perf                perfWire        `json:"perf"`
+}
+
+// summaryWire mirrors stats.Summary with journal-safe floats.
+type summaryWire struct {
+	Created       int `json:"created"`
+	Delivered     int `json:"delivered"`
+	Forwards      int `json:"forwards"`
+	Started       int `json:"started"`
+	Aborted       int `json:"aborted"`
+	Refused       int `json:"refused"`
+	Lost          int `json:"lost"`
+	PolicyDrops   int `json:"policy_drops"`
+	ExpiredDrops  int `json:"expired_drops"`
+	AckPurges     int `json:"ack_purges"`
+	Duplicates    int `json:"duplicates"`
+	DeliveryRatio F64 `json:"delivery_ratio"`
+	AvgHops       F64 `json:"avg_hops"`
+	OverheadRatio F64 `json:"overhead_ratio"`
+	AvgLatency    F64 `json:"avg_latency"`
+	MedianLatency F64 `json:"median_latency"`
+	P95Latency    F64 `json:"p95_latency"`
+}
+
+// energyWire mirrors network.EnergyReport.
+type energyWire struct {
+	Enabled    bool `json:"enabled"`
+	DeadNodes  int  `json:"dead_nodes"`
+	TotalUsed  F64  `json:"total_used"`
+	MeanLevel  F64  `json:"mean_level"`
+	FirstDeath F64  `json:"first_death"`
+}
+
+// perfWire mirrors obs.RunStats. WallSeconds is the only field of the whole
+// entry that legitimately differs between two executions of the same
+// scenario; a resumed sweep reports the journaled value.
+type perfWire struct {
+	SimSeconds   F64    `json:"sim_seconds"`
+	Events       uint64 `json:"events"`
+	PeakQueue    int    `json:"peak_queue"`
+	WallSeconds  F64    `json:"wall_seconds"`
+	PairsChecked uint64 `json:"pairs_checked"`
+	PairsSkipped uint64 `json:"pairs_skipped"`
+	Wakeups      uint64 `json:"wakeups"`
+}
+
+// toWire converts a live Result into its journal form.
+func toWire(r world.Result) *JournalResult {
+	s := r.Summary
+	return &JournalResult{
+		Scenario: r.Scenario,
+		Summary: summaryWire{
+			Created: s.Created, Delivered: s.Delivered, Forwards: s.Forwards,
+			Started: s.Started, Aborted: s.Aborted, Refused: s.Refused,
+			Lost: s.Lost, PolicyDrops: s.PolicyDrops, ExpiredDrops: s.ExpiredDrops,
+			AckPurges: s.AckPurges, Duplicates: s.Duplicates,
+			DeliveryRatio: F64(s.DeliveryRatio), AvgHops: F64(s.AvgHops),
+			OverheadRatio: F64(s.OverheadRatio), AvgLatency: F64(s.AvgLatency),
+			MedianLatency: F64(s.MedianLatency), P95Latency: F64(s.P95Latency),
+		},
+		Contacts:            r.Contacts,
+		MeanContactDuration: F64(r.MeanContactDuration),
+		Energy: energyWire{
+			Enabled: r.Energy.Enabled, DeadNodes: r.Energy.DeadNodes,
+			TotalUsed: F64(r.Energy.TotalUsed), MeanLevel: F64(r.Energy.MeanLevel),
+			FirstDeath: F64(r.Energy.FirstDeath),
+		},
+		MeanIntermeeting: F64(r.MeanIntermeeting),
+		ExpFitError:      F64(r.ExpFitError),
+		IntermeetingN:    r.IntermeetingN,
+		Perf: perfWire{
+			SimSeconds: F64(r.Perf.SimSeconds), Events: r.Perf.Events,
+			PeakQueue: r.Perf.PeakQueue, WallSeconds: F64(r.Perf.WallSeconds),
+			PairsChecked: r.Perf.PairsChecked, PairsSkipped: r.Perf.PairsSkipped,
+			Wakeups: r.Perf.Wakeups,
+		},
+	}
+}
+
+// Restore reconstructs the live world.Result the entry was recorded from.
+func (jr *JournalResult) Restore() world.Result {
+	s := jr.Summary
+	return world.Result{
+		Summary: stats.Summary{
+			Created: s.Created, Delivered: s.Delivered, Forwards: s.Forwards,
+			Started: s.Started, Aborted: s.Aborted, Refused: s.Refused,
+			Lost: s.Lost, PolicyDrops: s.PolicyDrops, ExpiredDrops: s.ExpiredDrops,
+			AckPurges: s.AckPurges, Duplicates: s.Duplicates,
+			DeliveryRatio: float64(s.DeliveryRatio), AvgHops: float64(s.AvgHops),
+			OverheadRatio: float64(s.OverheadRatio), AvgLatency: float64(s.AvgLatency),
+			MedianLatency: float64(s.MedianLatency), P95Latency: float64(s.P95Latency),
+		},
+		Scenario:            jr.Scenario,
+		Contacts:            jr.Contacts,
+		MeanContactDuration: float64(jr.MeanContactDuration),
+		Energy: network.EnergyReport{
+			Enabled: jr.Energy.Enabled, DeadNodes: jr.Energy.DeadNodes,
+			TotalUsed: float64(jr.Energy.TotalUsed), MeanLevel: float64(jr.Energy.MeanLevel),
+			FirstDeath: float64(jr.Energy.FirstDeath),
+		},
+		MeanIntermeeting: float64(jr.MeanIntermeeting),
+		ExpFitError:      float64(jr.ExpFitError),
+		IntermeetingN:    jr.IntermeetingN,
+		Perf: obs.RunStats{
+			SimSeconds: float64(jr.Perf.SimSeconds), Events: jr.Perf.Events,
+			PeakQueue: jr.Perf.PeakQueue, WallSeconds: float64(jr.Perf.WallSeconds),
+			PairsChecked: jr.Perf.PairsChecked, PairsSkipped: jr.Perf.PairsSkipped,
+			Wakeups: jr.Perf.Wakeups,
+		},
+	}
+}
+
+// Journal is a crash-safe, append-only JSONL manifest of finished runs,
+// keyed by scenario digest. Concurrency-safe: the experiment runner records
+// entries from every worker goroutine.
+//
+// Durability model:
+//
+//   - Record appends one JSON line and fsyncs it, so a crash mid-sweep
+//     loses at most the runs still in flight — never an already-recorded
+//     one.
+//   - OpenJournal tolerates a truncated tail line (the signature of a crash
+//     mid-append) by dropping it, then rewrites the surviving entries
+//     atomically (tmp file + fsync + rename) so the on-disk journal is
+//     whole again before any new entry is appended.
+//   - Re-recording a digest is last-writer-wins, both in memory and across
+//     reloads (later lines shadow earlier ones; compaction keeps only the
+//     winner).
+//
+// The journal contains no timestamps and no map-ordered emission, so
+// journaling the same runs always produces the same bytes — the property
+// the kill-and-resume gate (make resume-smoke) checks end to end.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[string]Entry
+	// order holds digests in first-recorded order so compaction and
+	// Entries emit deterministically without ranging over the map.
+	order []string
+}
+
+// OpenJournal opens (creating if needed) the journal at path, loads every
+// surviving entry, heals a truncated tail, and leaves the file open for
+// appends. Corruption anywhere but the final line is reported as an error:
+// a journal with a damaged interior records runs that can no longer be
+// trusted, and silently dropping them would resurrect completed work.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, entries: make(map[string]Entry)}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh journal.
+	case err != nil:
+		return nil, fmt.Errorf("experiment: journal: %w", err)
+	default:
+		if err := j.load(data); err != nil {
+			return nil, err
+		}
+		// Heal: rewrite the surviving entries atomically so a dropped
+		// truncated tail cannot corrupt the first appended line.
+		if err := j.compact(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// load parses the journal body, tolerating a truncated final line.
+func (j *Journal) load(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("experiment: journal %s: %w", j.path, err)
+	}
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Digest == "" {
+			if i == len(lines)-1 {
+				// A torn final line is the expected crash signature:
+				// the run it described was in flight and will re-run.
+				continue
+			}
+			return fmt.Errorf("experiment: journal %s: line %d corrupt (only the final line may be truncated): %v",
+				j.path, i+1, err)
+		}
+		j.remember(e)
+	}
+	return nil
+}
+
+// remember indexes an entry, last-writer-wins.
+func (j *Journal) remember(e Entry) {
+	if _, seen := j.entries[e.Digest]; !seen {
+		j.order = append(j.order, e.Digest)
+	}
+	j.entries[e.Digest] = e
+}
+
+// compact atomically rewrites the journal with the surviving deduplicated
+// entries: write to a tmp file, fsync it, rename over the journal, fsync
+// the directory. A crash at any point leaves either the old or the new
+// journal intact, never a blend.
+func (j *Journal) compact() error {
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiment: journal compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	for _, d := range j.order {
+		line, err := json.Marshal(j.entries[d])
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("experiment: journal compact: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: journal compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: journal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiment: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("experiment: journal compact: %w", err)
+	}
+	syncDir(filepath.Dir(j.path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Best-effort: some filesystems refuse directory fsync, and losing the
+// rename durability there degrades to re-running a few journaled runs.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Record appends one entry and fsyncs the journal. Safe for concurrent use.
+func (j *Journal) Record(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("experiment: journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("experiment: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("experiment: journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: journal record: %w", err)
+	}
+	j.remember(e)
+	return nil
+}
+
+// RecordResult journals a completed run under its digest.
+func (j *Journal) RecordResult(digest string, sc config.Scenario, res world.Result, attempts int) error {
+	return j.Record(Entry{
+		Digest:   digest,
+		Name:     sc.Name,
+		Seed:     sc.Seed,
+		Policy:   sc.PolicyName,
+		Status:   StatusDone,
+		Attempts: attempts,
+		Result:   toWire(res),
+	})
+}
+
+// RecordFailure journals a run whose every attempt errored.
+func (j *Journal) RecordFailure(digest string, sc config.Scenario, runErr error, attempts int) error {
+	return j.Record(Entry{
+		Digest:   digest,
+		Name:     sc.Name,
+		Seed:     sc.Seed,
+		Policy:   sc.PolicyName,
+		Status:   StatusFailed,
+		Attempts: attempts,
+		Error:    runErr.Error(),
+	})
+}
+
+// Lookup returns the latest entry recorded for a digest.
+func (j *Journal) Lookup(digest string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[digest]
+	return e, ok
+}
+
+// Len returns the number of distinct digests journaled.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Entries returns every surviving entry in first-recorded order.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Entry, 0, len(j.order))
+	for _, d := range j.order {
+		out = append(out, j.entries[d])
+	}
+	return out
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal file. The Journal remains readable
+// (Lookup/Entries) but further Records fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("experiment: journal close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiment: journal close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/world"
+)
+
+// TestF64RoundTrip checks the journal float type survives JSON bit-exactly,
+// including the values plain JSON cannot carry (an all-forwards run has
+// OverheadRatio = +Inf).
+func TestF64RoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 1.0 / 3.0, math.Pi, 5e-324, math.MaxFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN()}
+	for _, v := range cases {
+		data, err := json.Marshal(F64(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back F64
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if math.IsNaN(v) {
+			if !math.IsNaN(float64(back)) {
+				t.Errorf("NaN round-tripped to %v", back)
+			}
+			continue
+		}
+		if float64(back) != v {
+			t.Errorf("%v round-tripped to %v (wire %s)", v, back, data)
+		}
+	}
+}
+
+// TestJournalResultRoundTrip runs a real scenario and checks the journaled
+// Result restores field-for-field equal.
+func TestJournalResultRoundTrip(t *testing.T) {
+	w, err := world.Build(tinyScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(toWire(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JournalResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if got := jr.Restore(); !resultsEqual(got, res) {
+		t.Errorf("restored result differs:\n got %+v\nwant %+v", got, res)
+	}
+}
+
+// resultsEqual compares two Results for exact equality of every
+// deterministic field (WallSeconds is host-dependent and excluded).
+func resultsEqual(a, b world.Result) bool {
+	a.Perf.WallSeconds = 0
+	b.Perf.WallSeconds = 0
+	aj, _ := json.Marshal(toWire(a))
+	bj, _ := json.Marshal(toWire(b))
+	return string(aj) == string(bj)
+}
+
+func entry(digest, status string) Entry {
+	return Entry{Digest: digest, Name: "n-" + digest, Seed: 1, Policy: "SDSRP", Status: status, Attempts: 1}
+}
+
+// TestJournalTruncatedTail checks that a torn final line — the crash
+// signature of dying mid-append — is dropped, the surviving entries load,
+// and the healed file is whole again.
+func TestJournalTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	var body strings.Builder
+	for _, e := range []Entry{entry("aaa", StatusDone), entry("bbb", StatusDone)} {
+		line, _ := json.Marshal(e)
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	body.WriteString(`{"digest":"ccc","name":"n-ccc","se`) // torn mid-append
+	if err := os.WriteFile(path, []byte(body.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (torn tail dropped)", j.Len())
+	}
+	if _, ok := j.Lookup("ccc"); ok {
+		t.Error("torn entry survived")
+	}
+	// The open healed the file: every line on disk must now parse.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Errorf("healed journal line %d still corrupt: %v", i+1, err)
+		}
+	}
+}
+
+// TestJournalMiddleCorruption checks interior damage is an error, not a
+// silent drop: those entries recorded completed work that would otherwise
+// silently re-run or, worse, half-resume.
+func TestJournalMiddleCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	good, _ := json.Marshal(entry("aaa", StatusDone))
+	body := "not json at all\n" + string(good) + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("corrupt interior line loaded without error")
+	}
+}
+
+// TestJournalLastWriterWins checks duplicate digests resolve to the latest
+// record, across both in-memory recording and a reload.
+func TestJournalLastWriterWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := entry("aaa", StatusFailed)
+	first.Error = "boom"
+	second := entry("aaa", StatusDone)
+	second.Attempts = 2
+	for _, e := range []Entry{first, second} {
+		if err := j.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e, _ := j.Lookup("aaa"); e.Status != StatusDone || e.Attempts != 2 {
+		t.Fatalf("in-memory lookup = %+v, want the second record", e)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("reloaded Len = %d, want 1 (deduplicated)", j2.Len())
+	}
+	if e, _ := j2.Lookup("aaa"); e.Status != StatusDone || e.Attempts != 2 {
+		t.Fatalf("reloaded lookup = %+v, want the second record", e)
+	}
+}
+
+// TestJournalRecordAfterClose checks a closed journal refuses appends
+// instead of panicking on a nil file.
+func TestJournalRecordAfterClose(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(entry("aaa", StatusDone)); err == nil {
+		t.Fatal("Record on closed journal succeeded")
+	}
+}
+
+// TestDigestStability checks the digest is deterministic and sensitive to
+// every run-relevant knob: equal scenarios collide, any mutation separates.
+func TestDigestStability(t *testing.T) {
+	base := tinyScenario(1)
+	d1, err := Digest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(tinyScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("equal scenarios digest differently: %s vs %s", d1, d2)
+	}
+	mutants := map[string]func(*config.Scenario){
+		"seed":       func(sc *config.Scenario) { sc.Seed = 2 },
+		"policy":     func(sc *config.Scenario) { sc.PolicyName = "SprayAndWait" },
+		"duration":   func(sc *config.Scenario) { sc.Duration *= 2 },
+		"max-events": func(sc *config.Scenario) { sc.MaxEvents = 1000 },
+	}
+	for name, mutate := range mutants {
+		sc := tinyScenario(1)
+		mutate(&sc)
+		d, err := Digest(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == d1 {
+			t.Errorf("mutating %s left the digest unchanged", name)
+		}
+	}
+}

@@ -4,13 +4,19 @@
 // listed in DESIGN.md §8.
 //
 // Simulation runs are deterministic and independent, so the runner fans
-// them out over a worker pool and reduces results in input order.
+// them out over a worker pool and reduces results in input order. The
+// runner is crash-safe: with a Journal attached, every finished run is
+// durably recorded under its scenario digest, and a resumed sweep skips
+// the journaled runs and produces byte-identical results to an
+// uninterrupted one.
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +24,45 @@ import (
 	"sdsrp/internal/config"
 	"sdsrp/internal/world"
 )
+
+// ErrInterrupted is the sentinel carried (via errors.Is) by the RunError of
+// every run a sweep never started because Options.Interrupt fired. In-flight
+// runs drain to completion; only unclaimed runs report it.
+var ErrInterrupted = errors.New("experiment: sweep interrupted")
+
+// RunError attributes one failed run inside a batch: which scenario (by
+// input index and name) and why. Batch errors are an errors.Join of these,
+// so errors.Is/As reach both the RunError and its cause.
+type RunError struct {
+	// Index is the run's position in the input scenario slice.
+	Index int
+	// Name is the scenario name.
+	Name string
+	// Err is the final attempt's error.
+	Err error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %d (%s): %v", e.Index, e.Name, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// PanicError is a worker panic converted into a per-run error, carrying the
+// recovered value and the goroutine stack at recovery. Panics are permanent
+// failures: they are never retried, and one panicking run cannot take down
+// the rest of the batch.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("run panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// maxRetryBackoff caps the exponential retry backoff.
+const maxRetryBackoff = 5 * time.Second
 
 // Options tunes an experiment's cost without changing its structure.
 type Options struct {
@@ -42,22 +87,52 @@ type Options struct {
 	// Both callbacks may fire concurrently from worker goroutines.
 	ProgressStats func(ProgressInfo)
 	// OnResult, when set, receives every finished run's Result (including
-	// its Perf engine counters). Used by the benchmark harness to aggregate
-	// engine-level work across a sweep. May fire concurrently from worker
-	// goroutines; callbacks must be safe for that (or run with Workers: 1).
+	// its Perf engine counters) — journal-skipped runs included, so
+	// aggregations over a resumed sweep see the same stream as an
+	// uninterrupted one. May fire concurrently from worker goroutines;
+	// callbacks must be safe for that (or run with Workers: 1).
 	OnResult func(world.Result)
+	// Journal, when set, durably records every finished run (and every
+	// exhausted failure) keyed by scenario digest.
+	Journal *Journal
+	// Resume, with a Journal attached, skips runs whose digest the journal
+	// already records as done, replaying the stored Result instead.
+	Resume bool
+	// Retries is how many times a transiently failed run is re-attempted
+	// (0 means failures are final on the first attempt). Panics and
+	// deterministic budget stops are never retried.
+	Retries int
+	// RetryBackoff is the wait before the first re-attempt; it doubles per
+	// retry and is capped at 5s. 0 retries immediately.
+	RetryBackoff time.Duration
+	// RunTimeout bounds each run's wall-clock time (0 means unbounded).
+	// A timed-out run fails with world.ErrRunTimeout.
+	RunTimeout time.Duration
+	// Interrupt, when closed, stops the batch claiming new runs: in-flight
+	// runs drain and are journaled, unstarted runs fail with
+	// ErrInterrupted. Wire it to a signal handler for graceful shutdown.
+	Interrupt <-chan struct{}
+
+	// runOne replaces the build-and-simulate step in tests.
+	runOne func(config.Scenario) (world.Result, error)
 }
 
 // ProgressInfo describes batch progress after one run finished.
 type ProgressInfo struct {
 	Done, Total int
+	// Skipped is how many of Done were replayed from the journal instead
+	// of executed (resume hits).
+	Skipped int
+	// Retried is the total number of re-attempts so far across the batch.
+	Retried int
 	// Elapsed is the wall-clock time since the batch started.
 	Elapsed time.Duration
-	// ETA estimates the remaining wall-clock time from the mean pace so
-	// far (0 when done).
+	// ETA estimates the remaining wall-clock time from the mean pace of
+	// the *executed* runs so far (0 when done or nothing executed yet);
+	// journal skips are free and must not skew it.
 	ETA time.Duration
 	// LastRunWall is the wall-clock duration of the run that just
-	// finished (build + simulate).
+	// finished (build + simulate); 0 for a journal skip.
 	LastRunWall time.Duration
 }
 
@@ -144,7 +219,8 @@ func shrinkArea(sc *config.Scenario, ratio float64) {
 }
 
 // Run executes every scenario on a worker pool and returns results in input
-// order. The first build error aborts the batch.
+// order. On failure it returns the partial results alongside the joined
+// per-run errors; successful runs keep their slots.
 func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]world.Result, error) {
 	var cb func(ProgressInfo)
 	if progress != nil {
@@ -158,66 +234,238 @@ func Run(scs []config.Scenario, workers int, progress func(done, total int)) ([]
 // duration of the run that just completed. The callback may fire
 // concurrently from worker goroutines.
 func RunTimed(scs []config.Scenario, workers int, progress func(ProgressInfo)) ([]world.Result, error) {
-	return runTimed(scs, workers, progress, nil)
+	return Options{Workers: workers, ProgressStats: progress}.RunScenarios(scs)
 }
 
 // runBatch executes scs under the options' worker count, progress
 // callbacks, and per-result hook — the entry point every sweep uses.
 func (o Options) runBatch(scs []config.Scenario) ([]world.Result, error) {
-	return runTimed(scs, o.Workers, o.progress(), o.OnResult)
+	return o.RunScenarios(scs)
 }
 
-func runTimed(scs []config.Scenario, workers int, progress func(ProgressInfo), onResult func(world.Result)) ([]world.Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// RunScenarios executes every scenario on a worker pool and returns results
+// in input order, honoring the options' crash-safety machinery: journal
+// recording, resume skips, panic isolation, bounded retries, per-run
+// wall-clock timeouts, and graceful interruption.
+//
+// Failure handling is per run, not per batch: a failed (or panicked, or
+// interrupted) run leaves a zero Result in its slot and contributes a
+// *RunError to the joined error; every other run still executes and
+// returns its result. Callers that can tolerate holes may use the partial
+// results; errors.Is(err, ErrInterrupted) distinguishes an interrupt from
+// real failures.
+func (o Options) RunScenarios(scs []config.Scenario) ([]world.Result, error) {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	progress := o.progress()
 	results := make([]world.Result, len(scs))
 	errs := make([]error, len(scs))
+
+	// Content-address every run up front when a journal is attached; a
+	// digest failure is a programming error (scenario not serializable)
+	// and aborts before any work starts.
+	digests := make([]string, len(scs))
+	if o.Journal != nil {
+		for i, sc := range scs {
+			d, err := Digest(sc)
+			if err != nil {
+				return nil, err
+			}
+			digests[i] = d
+		}
+	}
+
+	// Resolve resume hits before the workers start: the skip set is then
+	// fixed, so the ETA can cleanly separate free replays from executed
+	// runs, and progress for skips fires in deterministic input order.
+	skipped := make([]bool, len(scs))
+	totalSkipped := 0
+	if o.Resume && o.Journal != nil {
+		for i := range scs {
+			if e, ok := o.Journal.Lookup(digests[i]); ok && e.Status == StatusDone && e.Result != nil {
+				results[i] = e.Result.Restore()
+				skipped[i] = true
+				totalSkipped++
+			}
+		}
+	}
+
 	batchStart := time.Now()
-	var next, done atomic.Int64
+	var done, retried atomic.Int64
+	report := func(executedWall time.Duration, isSkip bool) {
+		if progress == nil {
+			return
+		}
+		d := int(done.Add(1))
+		elapsed := time.Since(batchStart)
+		var eta time.Duration
+		executed := d - totalSkipped
+		if left := len(scs) - d; left > 0 && executed > 0 {
+			eta = elapsed / time.Duration(executed) * time.Duration(left)
+		}
+		wall := executedWall
+		if isSkip {
+			wall = 0
+		}
+		progress(ProgressInfo{
+			Done:        d,
+			Total:       len(scs),
+			Skipped:     totalSkipped,
+			Retried:     int(retried.Load()),
+			Elapsed:     elapsed,
+			ETA:         eta,
+			LastRunWall: wall,
+		})
+	}
+
+	// Replay skips first, in input order, so downstream aggregation
+	// (OnResult consumers) sees the same result stream as an
+	// uninterrupted sweep.
+	for i := range scs {
+		if !skipped[i] {
+			continue
+		}
+		if o.OnResult != nil {
+			o.OnResult(results[i])
+		}
+		report(0, true)
+	}
+
+	interrupted := func() bool {
+		if o.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-o.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
+	claimed := make([]bool, len(scs))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if interrupted() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(scs) {
 					return
 				}
+				if skipped[i] {
+					continue
+				}
+				claimed[i] = true
 				runStart := time.Now()
-				wld, err := world.Build(scs[i])
+				res, err, attempts := o.execute(scs[i], &retried)
 				if err != nil {
 					errs[i] = err
-				} else {
-					results[i], errs[i] = wld.Run()
-				}
-				if onResult != nil && errs[i] == nil {
-					onResult(results[i])
-				}
-				if progress != nil {
-					d := int(done.Add(1))
-					elapsed := time.Since(batchStart)
-					var eta time.Duration
-					if left := len(scs) - d; left > 0 {
-						eta = elapsed / time.Duration(d) * time.Duration(left)
+					if o.Journal != nil {
+						if jerr := o.Journal.RecordFailure(digests[i], scs[i], err, attempts); jerr != nil {
+							errs[i] = errors.Join(err, jerr)
+						}
 					}
-					progress(ProgressInfo{
-						Done:        d,
-						Total:       len(scs),
-						Elapsed:     elapsed,
-						ETA:         eta,
-						LastRunWall: time.Since(runStart),
-					})
+				} else {
+					results[i] = res
+					if o.Journal != nil {
+						// Journal the resolved scenario carried by the
+						// Result, so a resume replays exactly what ran.
+						if jerr := o.Journal.RecordResult(digests[i], res.Scenario, res, attempts); jerr != nil {
+							errs[i] = jerr
+						}
+					}
+					if o.OnResult != nil {
+						o.OnResult(res)
+					}
 				}
+				report(time.Since(runStart), false)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %w", err)
+
+	// Runs never claimed because of an interrupt fail with the sentinel:
+	// the caller can resume them, and they must not be mistaken for
+	// simulation failures.
+	if interrupted() {
+		for i := range scs {
+			if !skipped[i] && !claimed[i] && errs[i] == nil {
+				errs[i] = ErrInterrupted
+			}
 		}
 	}
+
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, &RunError{Index: i, Name: scs[i].Name, Err: err})
+		}
+	}
+	if len(failed) > 0 {
+		return results, fmt.Errorf("experiment: %d of %d runs failed: %w",
+			len(failed), len(scs), errors.Join(failed...))
+	}
 	return results, nil
+}
+
+// execute runs one scenario with panic isolation and bounded retries,
+// returning the result, the final error, and how many attempts were made.
+func (o Options) execute(sc config.Scenario, retried *atomic.Int64) (world.Result, error, int) {
+	attempts := 0
+	for {
+		attempts++
+		res, err := o.attempt(sc)
+		if err == nil {
+			return res, nil, attempts
+		}
+		if attempts > o.Retries || permanentFailure(err) {
+			return res, err, attempts
+		}
+		retried.Add(1)
+		if o.RetryBackoff > 0 {
+			backoff := o.RetryBackoff << (attempts - 1)
+			if backoff > maxRetryBackoff || backoff <= 0 {
+				backoff = maxRetryBackoff
+			}
+			time.Sleep(backoff)
+		}
+	}
+}
+
+// attempt builds and runs one scenario, converting a panic anywhere in the
+// build/simulate path into a *PanicError so one poisoned run cannot take
+// down the worker pool.
+func (o Options) attempt(sc config.Scenario) (res world.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if o.runOne != nil {
+		return o.runOne(sc)
+	}
+	w, err := world.Build(sc)
+	if err != nil {
+		return world.Result{}, err
+	}
+	if o.RunTimeout > 0 {
+		w.Engine.SetWallDeadline(time.Now().Add(o.RunTimeout))
+	}
+	return w.Run()
+}
+
+// permanentFailure reports whether a run error is deterministic — retrying
+// could only reproduce it. Panics and event-budget stops are permanent;
+// wall-clock timeouts and I/O-flavored build failures are treated as
+// transient and eligible for retry.
+func permanentFailure(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe) || errors.Is(err, world.ErrBudgetExceeded)
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// chain schedules a self-perpetuating event chain so the queue never drains
+// before the horizon — the shape of a runaway run a watchdog must stop.
+func chain(e *Engine, step float64) {
+	var next func(now float64)
+	next = func(now float64) { e.At(now+step, next) }
+	e.At(0, next)
+}
+
+func TestMaxEventsBudget(t *testing.T) {
+	e := NewEngine()
+	chain(e, 1)
+	e.SetMaxEvents(100)
+	e.Run(1e12)
+	if !e.BudgetExceeded() {
+		t.Fatal("budget not reported exceeded")
+	}
+	if e.Processed() != 100 {
+		t.Errorf("processed %d events, want exactly the 100-event budget", e.Processed())
+	}
+}
+
+func TestMaxEventsNotHit(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	for i := 0; i < 10; i++ {
+		e.At(float64(i), func(float64) { fired++ })
+	}
+	e.SetMaxEvents(100)
+	e.Run(1000)
+	if e.BudgetExceeded() {
+		t.Error("budget reported exceeded on an under-budget run")
+	}
+	if fired != 10 {
+		t.Errorf("fired %d events, want 10", fired)
+	}
+}
+
+// TestBudgetResume checks a budget stop leaves the engine in a resumable
+// state: raising the budget and re-running continues from the cutoff.
+func TestBudgetResume(t *testing.T) {
+	e := NewEngine()
+	chain(e, 1)
+	e.SetMaxEvents(50)
+	e.Run(1e12)
+	if e.Processed() != 50 {
+		t.Fatalf("processed %d, want 50", e.Processed())
+	}
+	e.SetMaxEvents(120)
+	e.Run(1e12)
+	if e.Processed() != 120 {
+		t.Errorf("after raising the budget processed %d, want 120", e.Processed())
+	}
+}
+
+func TestWallDeadline(t *testing.T) {
+	e := NewEngine()
+	chain(e, 1)
+	// An already-expired deadline trips at the first stride check.
+	e.SetWallDeadline(time.Now().Add(-time.Second))
+	// Cap with a budget far above the stride so a broken deadline check
+	// fails the test instead of hanging it.
+	e.SetMaxEvents(10 * deadlineStride)
+	e.Run(1e12)
+	if !e.DeadlineExceeded() {
+		t.Fatal("expired deadline not reported")
+	}
+	if e.Processed() != deadlineStride {
+		t.Errorf("processed %d events, want one stride (%d)", e.Processed(), deadlineStride)
+	}
+}
+
+func TestWallDeadlineFarFuture(t *testing.T) {
+	e := NewEngine()
+	chain(e, 1)
+	e.SetWallDeadline(time.Now().Add(time.Hour))
+	e.SetMaxEvents(2 * deadlineStride)
+	e.Run(1e12)
+	if e.DeadlineExceeded() {
+		t.Error("future deadline reported exceeded")
+	}
+	if !e.BudgetExceeded() {
+		t.Error("budget should have stopped the capped run")
+	}
+}

@@ -74,7 +74,25 @@ type Engine struct {
 	// canceledQueued counts queued-but-canceled events awaiting reap, so
 	// Live can report the true pending depth without walking the heap.
 	canceledQueued int
+	// maxEvents, when > 0, bounds how many events Run may dispatch in
+	// total; the budget guard against a pathological scenario spinning
+	// forever. Deterministic: the same scenario always stops at the same
+	// event.
+	maxEvents uint64
+	budgetHit bool
+	// deadline, when non-zero, is a wall-clock cutoff checked every
+	// deadlineStride dispatches. Unlike the event budget this is
+	// inherently non-deterministic (it depends on host speed); it exists
+	// for the experiment runner's per-run watchdog, not for simulation
+	// semantics.
+	deadline    time.Time
+	deadlineHit bool
 }
+
+// deadlineStride is how many dispatches pass between wall-clock deadline
+// checks: rare enough that time.Now stays off the hot path, frequent enough
+// that an overdue run stops within milliseconds.
+const deadlineStride = 8192
 
 // NewEngine returns an engine with the clock at 0.
 func NewEngine() *Engine {
@@ -177,9 +195,32 @@ func (e *Engine) Every(d float64, fn Handler) EventID {
 // Stop halts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run dispatches events in order until the queue empties, Stop is called, or
-// the next event is strictly after horizon. The clock finishes at
-// min(last event time, horizon).
+// SetMaxEvents bounds the total number of events the engine may dispatch
+// across all Run calls; 0 removes the bound. When the budget is exhausted
+// Run returns early and BudgetExceeded reports true. The cutoff is a
+// function of the event stream alone, so it is as deterministic as the
+// simulation itself.
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// BudgetExceeded reports whether a Run stopped because the SetMaxEvents
+// budget was exhausted.
+func (e *Engine) BudgetExceeded() bool { return e.budgetHit }
+
+// SetWallDeadline arms a wall-clock watchdog: Run returns early once real
+// time passes t (checked every few thousand dispatches). The zero time
+// disarms it. This is a runner-layer safety net against runaway runs; it is
+// NOT deterministic and must never gate simulation semantics.
+func (e *Engine) SetWallDeadline(t time.Time) { e.deadline = t }
+
+// DeadlineExceeded reports whether a Run stopped because the SetWallDeadline
+// watchdog fired.
+func (e *Engine) DeadlineExceeded() bool { return e.deadlineHit }
+
+// Run dispatches events in order until the queue empties, Stop is called,
+// the next event is strictly after horizon, the SetMaxEvents budget is
+// exhausted, or the SetWallDeadline watchdog fires. The clock finishes at
+// min(last event time, horizon); early budget/deadline exits leave it at the
+// last dispatched event (query BudgetExceeded / DeadlineExceeded).
 func (e *Engine) Run(horizon float64) {
 	start := time.Now()
 	defer func() { e.wall += time.Since(start) }()
@@ -212,6 +253,14 @@ func (e *Engine) Run(horizon float64) {
 		e.now = t
 		e.processed++
 		fn(t)
+		if e.maxEvents > 0 && e.processed >= e.maxEvents {
+			e.budgetHit = true
+			return
+		}
+		if !e.deadline.IsZero() && e.processed%deadlineStride == 0 && time.Now().After(e.deadline) {
+			e.deadlineHit = true
+			return
+		}
 	}
 }
 

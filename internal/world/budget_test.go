@@ -1,0 +1,90 @@
+package world
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sdsrp/internal/config"
+)
+
+func budgetScenario(seed uint64) config.Scenario {
+	sc := config.RandomWaypoint()
+	sc.Nodes = 10
+	sc.Duration = 600
+	sc.TTL = 300
+	sc.Area.Max.X = 500
+	sc.Area.Max.Y = 500
+	sc.Seed = seed
+	return sc
+}
+
+// TestRunEventBudget checks Scenario.MaxEvents stops a run with the typed
+// budget error and a usable partial result.
+func TestRunEventBudget(t *testing.T) {
+	full := budgetScenario(1)
+	w, err := Build(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Perf.Events < 20 {
+		t.Skipf("reference run too small (%d events) to cut meaningfully", ref.Perf.Events)
+	}
+
+	capped := budgetScenario(1)
+	capped.MaxEvents = ref.Perf.Events / 2
+	w2, err := Build(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w2.Run()
+	if err == nil {
+		t.Fatal("capped run returned no error")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("errors.Is(err, ErrBudgetExceeded) = false for %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %T", err)
+	}
+	if be.Events != capped.MaxEvents || be.MaxEvents != capped.MaxEvents {
+		t.Errorf("budget error counts %d/%d, want %d/%d",
+			be.Events, be.MaxEvents, capped.MaxEvents, capped.MaxEvents)
+	}
+	if res.Perf.Events != capped.MaxEvents {
+		t.Errorf("partial result reports %d events, want %d", res.Perf.Events, capped.MaxEvents)
+	}
+	if be.SimTime <= 0 || be.SimTime > full.Duration {
+		t.Errorf("cutoff sim time %v out of range (0, %v]", be.SimTime, full.Duration)
+	}
+}
+
+// TestRunBudgetDeterministic checks the budget cutoff is reproducible: two
+// capped runs of the same scenario stop at the same event with identical
+// partial metrics.
+func TestRunBudgetDeterministic(t *testing.T) {
+	run := func() (Result, error) {
+		sc := budgetScenario(1)
+		sc.MaxEvents = 200
+		w, err := Build(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Run()
+	}
+	a, errA := run()
+	b, errB := run()
+	if !errors.Is(errA, ErrBudgetExceeded) || !errors.Is(errB, ErrBudgetExceeded) {
+		t.Fatalf("budget errors missing: %v / %v", errA, errB)
+	}
+	a.Perf.WallSeconds = 0
+	b.Perf.WallSeconds = 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("capped runs diverge:\n a=%+v\n b=%+v", a, b)
+	}
+}

@@ -1,0 +1,57 @@
+package world
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded is the sentinel matched (via errors.Is) by runs stopped
+// by the Scenario.MaxEvents budget guard. The concrete error is a
+// *BudgetError carrying the counts reached.
+var ErrBudgetExceeded = errors.New("world: event budget exceeded")
+
+// ErrRunTimeout is the sentinel matched (via errors.Is) by runs stopped by
+// a wall-clock watchdog armed on the engine (sim.Engine.SetWallDeadline).
+// The concrete error is a *TimeoutError.
+var ErrRunTimeout = errors.New("world: run wall-clock timeout")
+
+// BudgetError reports that a run dispatched its full Scenario.MaxEvents
+// budget before reaching the scenario horizon. The partial Result returned
+// alongside it summarizes the run up to the cutoff. Unlike a wall-clock
+// timeout this stop is deterministic: the same scenario stops at the same
+// event on every machine.
+type BudgetError struct {
+	// Events is the number of events dispatched when the run stopped.
+	Events uint64
+	// MaxEvents is the configured budget.
+	MaxEvents uint64
+	// SimTime is the simulation clock at the cutoff, in seconds.
+	SimTime float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("world: event budget exceeded: %d events dispatched (max %d) at sim time %.1fs",
+		e.Events, e.MaxEvents, e.SimTime)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) match a *BudgetError.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// TimeoutError reports that a run was stopped by the wall-clock watchdog
+// before reaching the scenario horizon. Wall-clock stops depend on host
+// speed and are NOT deterministic; they exist as a runner-layer safety net,
+// and a timed-out run must never be treated as a simulation result.
+type TimeoutError struct {
+	// Events is the number of events dispatched when the watchdog fired.
+	Events uint64
+	// SimTime is the simulation clock at the cutoff, in seconds.
+	SimTime float64
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("world: run wall-clock timeout after %d events at sim time %.1fs",
+		e.Events, e.SimTime)
+}
+
+// Is makes errors.Is(err, ErrRunTimeout) match a *TimeoutError.
+func (e *TimeoutError) Is(target error) bool { return target == ErrRunTimeout }

@@ -490,10 +490,16 @@ func (w *World) scheduleTraffic(s *rng.Stream) {
 }
 
 // Run executes the scenario to its horizon and returns the result digest.
-// The only failure path is a contact-trace-driven run whose schedule fails
-// to install; scanner-driven runs cannot fail.
+// Failure paths: a contact-trace-driven run whose schedule fails to install
+// (zero Result), a Scenario.MaxEvents budget stop (*BudgetError), and a
+// wall-clock watchdog stop (*TimeoutError) when a deadline was armed on the
+// engine. Budget and timeout stops return the partial Result alongside the
+// error so callers can report how far the run got.
 func (w *World) Run() (Result, error) {
 	if !w.started {
+		if w.Scenario.MaxEvents > 0 {
+			w.Engine.SetMaxEvents(w.Scenario.MaxEvents)
+		}
 		if w.scheduled != nil {
 			if err := w.Manager.StartScheduled(w.scheduled); err != nil {
 				return Result{}, fmt.Errorf("world: starting scheduled contacts: %w", err)
@@ -504,6 +510,19 @@ func (w *World) Run() (Result, error) {
 		w.started = true
 	}
 	w.Engine.Run(w.Scenario.Duration)
+	if w.Engine.BudgetExceeded() {
+		return w.Result(), &BudgetError{
+			Events:    w.Engine.Processed(),
+			MaxEvents: w.Scenario.MaxEvents,
+			SimTime:   w.Engine.Now(),
+		}
+	}
+	if w.Engine.DeadlineExceeded() {
+		return w.Result(), &TimeoutError{
+			Events:  w.Engine.Processed(),
+			SimTime: w.Engine.Now(),
+		}
+	}
 	return w.Result(), nil
 }
 

@@ -49,6 +49,45 @@ type (
 	World = world.World
 )
 
+// Crash-safety types (see internal/experiment): a RunJournal is an
+// append-only JSONL manifest of finished runs keyed by scenario digest;
+// attaching one to ExperimentOptions (plus Resume) lets an interrupted
+// sweep restart without redoing completed work.
+type (
+	// RunJournal durably records finished runs, keyed by scenario digest.
+	RunJournal = experiment.Journal
+	// JournalEntry is one journaled run outcome.
+	JournalEntry = experiment.Entry
+	// SweepRunError attributes one failed run inside a batch (index, name,
+	// cause); batch errors are an errors.Join of these.
+	SweepRunError = experiment.RunError
+	// SweepPanicError is a worker panic converted into a per-run error
+	// (recovered value plus stack).
+	SweepPanicError = experiment.PanicError
+)
+
+// Crash-safety sentinels, matched with errors.Is.
+var (
+	// ErrSweepInterrupted marks runs a sweep never started because its
+	// Interrupt channel fired.
+	ErrSweepInterrupted = experiment.ErrInterrupted
+	// ErrBudgetExceeded marks runs stopped by the Scenario.MaxEvents
+	// event budget.
+	ErrBudgetExceeded = world.ErrBudgetExceeded
+	// ErrRunTimeout marks runs stopped by the per-run wall-clock watchdog
+	// (ExperimentOptions.RunTimeout).
+	ErrRunTimeout = world.ErrRunTimeout
+)
+
+// OpenRunJournal opens (creating if needed) the run journal at path,
+// healing a truncated tail line left by a crash mid-append.
+func OpenRunJournal(path string) (*RunJournal, error) { return experiment.OpenJournal(path) }
+
+// ScenarioDigest returns the scenario's content address: a SHA-256 hex
+// digest over its canonical serialization. Equal digests mean the runs
+// would simulate identically.
+func ScenarioDigest(sc Scenario) (string, error) { return experiment.Digest(sc) }
+
 // Experiment and reporting types.
 type (
 	// ExperimentOptions tunes experiment cost (scale, node count, seeds,
