@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke bench-report trace-smoke resume-smoke fuzz fuzz-smoke experiments check resilience examples clean
+.PHONY: all build vet lint lint-report test test-short race bench bench-smoke bench-report trace-smoke resume-smoke fuzz fuzz-smoke experiments check resilience examples clean
 
 all: build vet lint test
 
@@ -12,12 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism + hot-path static analysis (DESIGN.md §11): no wall-clock in
-# simulation logic, no global math/rand, no library panics, no map-order
-# emission, no bare float equality in score math, no scalar distance math
-# (sqrt/Hypot) in scan-path packages.
+# Determinism + hot-path + shard-safety static analysis (DESIGN.md §11),
+# eleven checks: no wall-clock in simulation logic, no global math/rand, no
+# library panics, no map-order emission, no bare float equality in score
+# math, no scalar distance math (sqrt/Hypot) in scan-path packages, no
+# package-level mutable state in engine packages, no concurrency primitives
+# in the sim path, no RNG substreams escaping their owning subsystem, no
+# map-iteration order flowing into engine state, and no allocation inside
+# Performance-contract hot functions. `-summary` prints the per-package
+# shard-safety certification table; `-json` emits the machine report.
 lint:
 	$(GO) run ./cmd/dtnlint ./...
+
+lint-report:
+	$(GO) run ./cmd/dtnlint -summary ./...
 
 test:
 	$(GO) test ./...

@@ -1,11 +1,14 @@
-// Command dtnlint enforces the simulator's determinism and error-handling
-// invariants: no wall-clock reads in simulation logic, no global math/rand,
-// no panics in library code, no map-iteration order leaking into emitted
-// output, and no bare float equality in score math.
+// Command dtnlint enforces the simulator's determinism, error-handling,
+// and shard-safety invariants: no wall-clock reads in simulation logic, no
+// global math/rand, no panics in library code, no map-iteration order
+// leaking into emitted output or engine state, no bare float equality in
+// score math, no package-level mutable state, goroutines, or escaping RNG
+// substreams in the engine packages, and no allocations inside
+// Performance-contract hot functions.
 //
 // Usage:
 //
-//	dtnlint [-checks list] [-list] [packages]
+//	dtnlint [-checks list] [-list] [-json] [-summary] [packages]
 //
 // The tool loads every package of the enclosing module (the go.mod found
 // at or above the working directory) using only the standard library's
@@ -17,17 +20,30 @@
 // position, and the exit status is 1. A clean run prints nothing and exits
 // 0. Load or type-check failures exit 2.
 //
+// -json writes a machine-readable report instead: the check registry,
+// every finding, and the shard-safety coverage of the engine packages
+// (which are //lint:shard-safe-certified, how many annotated exemptions
+// each carries). -summary prints the same coverage as a human table after
+// the findings. -list prints each check with its one-line description.
+//
 // Suppress a finding by putting a comment on the flagged line or the line
 // above it:
 //
 //	//lint:ignore float-eq bitwise tie-break keeps eviction order stable
 //
-// A panic that guards a genuinely unreachable state is annotated instead:
+// A panic that guards a genuinely unreachable state — or a deliberate,
+// explained shard-safety touchpoint — is annotated instead:
 //
 //	//lint:invariant contacts were validated at Build time
+//
+// A package that passes the shard-safety checks declares it near its
+// package clause:
+//
+//	//lint:shard-safe state lives in per-run structs; no substream escapes
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +55,9 @@ import (
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "list the available checks and exit")
+	list := flag.Bool("list", false, "list the available checks with their descriptions and exit")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report (findings + shard-safety coverage)")
+	summary := flag.Bool("summary", false, "print the shard-safety coverage table after the findings")
 	dir := flag.String("C", "", "module root to lint (default: nearest go.mod above the working directory)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dtnlint [flags] [packages]\n")
@@ -48,8 +66,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range lint.CheckNames {
-			fmt.Println(name)
+		for _, c := range lint.Checks {
+			fmt.Printf("%-17s %s\n", c.Name, c.Doc)
 		}
 		return
 	}
@@ -80,8 +98,24 @@ func main() {
 	}
 	diags := lint.Run(mod, cfg)
 	diags = filterArgs(diags, flag.Args())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.NewReport(mod, cfg, diags)); err != nil {
+			fatal(err)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if *summary {
+		lint.WriteSummary(os.Stdout, lint.Coverage(mod, cfg, diags))
 	}
 	if len(diags) > 0 {
 		plural := "s"

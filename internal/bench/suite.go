@@ -117,6 +117,7 @@ func experimentCase(name, desc string) Case {
 			return Sim{}, fmt.Errorf("experiment %q not registered", name)
 		}
 		var (
+			//lint:invariant guards the cross-run digest accumulator fed by sweep workers after each run completes; accumulation is commutative and happens outside every engine's dispatch loop
 			mu sync.Mutex
 			d  digest
 		)

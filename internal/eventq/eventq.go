@@ -15,6 +15,8 @@
 // internal/sim layers an event free-list on top (recycling dispatched event
 // structs), which together make steady-state scheduling fully
 // allocation-free. Push/Pop are O(log n); Peek and Len are O(1).
+//
+//lint:shard-safe no package state; each shard owns its queue instance, and the heap never reads anything but the injected less function
 package eventq
 
 // Queue is a binary min-heap of T ordered by the less function supplied to
@@ -42,6 +44,9 @@ func NewWithCapacity[T any](less func(a, b T) bool, capacity int) *Queue[T] {
 func (q *Queue[T]) Len() int { return len(q.items) }
 
 // Push adds v to the queue in O(log n).
+//
+// Performance contract: grows the backing array in place only; once the
+// array has reached the run's peak queue depth, Push allocates nothing.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
 	q.up(len(q.items) - 1)
@@ -58,6 +63,9 @@ func (q *Queue[T]) Peek() (v T, ok bool) {
 
 // Pop removes and returns the minimum item in O(log n). ok is false when the
 // queue is empty.
+//
+// Performance contract: shrinks the length but keeps the capacity and
+// zeroes the vacated slot; Pop never allocates.
 func (q *Queue[T]) Pop() (v T, ok bool) {
 	if len(q.items) == 0 {
 		return v, false

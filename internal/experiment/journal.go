@@ -237,6 +237,7 @@ func (jr *JournalResult) Restore() world.Result {
 // journaling the same runs always produces the same bytes — the property
 // the kill-and-resume gate (make resume-smoke) checks end to end.
 type Journal struct {
+	//lint:invariant the mutex serializes appends from sweep workers AFTER their runs complete; journal writes happen outside every engine's dispatch loop and feed nothing back into it
 	mu      sync.Mutex
 	path    string
 	f       *os.File

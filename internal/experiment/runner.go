@@ -346,6 +346,7 @@ func (o Options) RunScenarios(scs []config.Scenario) ([]world.Result, error) {
 
 	claimed := make([]bool, len(scs))
 	var next atomic.Int64
+	//lint:invariant worker goroutines parallelize across WHOLE runs, never inside one: each scenario's engine, world, and RNG streams are constructed and driven entirely by the one worker that claimed it, so sweep-level concurrency cannot reorder any run's event stream
 	var wg sync.WaitGroup
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)

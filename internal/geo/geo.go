@@ -16,6 +16,7 @@
 //
 // Grid.Update likewise reuses its per-cell buckets, so a rebuild every scan
 // tick is a copy plus bucketing with no steady-state allocation.
+//lint:shard-safe pure geometry plus per-instance grid state; nothing shared
 package geo
 
 import "math"

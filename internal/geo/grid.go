@@ -56,6 +56,10 @@ func (g *Grid) index(p Point) int {
 
 // Update replaces all item positions. len(pos) must equal the n passed to
 // NewGrid.
+//
+// Performance contract: reuses the per-cell buckets and the occupied list
+// across rebuilds; once every visited cell has reached its peak occupancy,
+// Update allocates nothing.
 func (g *Grid) Update(pos []Point) {
 	for _, ci := range g.occupied {
 		g.cells[ci] = g.cells[ci][:0]
@@ -74,6 +78,9 @@ func (g *Grid) Update(pos []Point) {
 // Pairs appends to out every unordered pair (a,b), a<b, whose distance is at
 // most radius, and returns the extended slice. radius must be ≤ the cell
 // size for completeness.
+//
+// Performance contract: compares squared distances only and writes through
+// the caller's slice; with a warm out buffer Pairs allocates nothing.
 func (g *Grid) Pairs(radius float64, out [][2]int32) [][2]int32 {
 	r2 := radius * radius
 	for _, ciAny := range g.occupied {
@@ -119,6 +126,9 @@ func appendPair(out [][2]int32, a, b int32) [][2]int32 {
 
 // Near appends to out the ids of all items within radius of p (including
 // items at exactly radius), and returns the extended slice.
+//
+// Performance contract: compares squared distances only and writes through
+// the caller's slice; with a warm out buffer Near allocates nothing.
 func (g *Grid) Near(p Point, radius float64, out []int32) []int32 {
 	r2 := radius * radius
 	cx := int((p.X - g.area.Min.X) / g.cell)

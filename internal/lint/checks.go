@@ -217,6 +217,8 @@ func (p *Pass) rootObject(e ast.Expr) types.Object {
 		return p.Pkg.Info.Uses[e.Sel]
 	case *ast.IndexExpr:
 		return p.rootObject(e.X)
+	case *ast.SliceExpr:
+		return p.rootObject(e.X)
 	case *ast.StarExpr:
 		return p.rootObject(e.X)
 	case *ast.ParenExpr:

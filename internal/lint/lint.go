@@ -1,10 +1,12 @@
 // Package lint is dtnlint's engine: a stdlib-only static-analysis suite
-// that machine-checks the simulator's determinism, error-handling, and
-// hot-path invariants (same seed ⇒ byte-identical results).
+// that machine-checks the simulator's determinism, error-handling,
+// hot-path, and shard-safety invariants (same seed ⇒ byte-identical
+// results, and — once event execution is sharded — the same bytes from a
+// parallel run as from the serial engine).
 //
 // The suite is built from go/parser, go/ast, go/types, and go/token alone,
-// preserving the module's zero-external-dependency constraint. Six checks
-// run over every non-test file of every package in the module:
+// preserving the module's zero-external-dependency constraint. Eleven
+// checks run over every non-test file of every package in the module:
 //
 //   - no-wallclock: time.Now / time.Since are forbidden outside an explicit
 //     perf-timing allowlist. Simulated time must be injected.
@@ -27,10 +29,48 @@
 //     the lazy sweep. Legitimate scalar uses (canonical definitions,
 //     parse-time bounds) carry a //lint:ignore hot-dist annotation.
 //
+// Five shard-safety checks certify that the engine-path packages can run
+// under deterministic sharded parallel event execution (DESIGN.md §11):
+//
+//   - shared-mutable: package-level mutable state (vars, non-const maps or
+//     slices, settable singletons) in an engine-path package. Any of it
+//     races once shards run concurrently; state must live in constructed
+//     per-run structs. Sentinel errors (error-typed Err* vars) and blank
+//     interface-compliance assertions are exempt by shape.
+//   - no-conc-sim: go statements, channel operations, select, channel
+//     types, and sync / sync/atomic imports anywhere in the deterministic
+//     sim path. Concurrency may enter only through the future shard
+//     barrier; the experiment fan-out, bench harness, obs sinks, and CLIs
+//     are allowlisted.
+//   - rng-escape: an *rng.Stream / *rng.Source substream must not be
+//     captured by a closure that outlives the statement (stored in a
+//     struct field, returned, or handed to a non-constructor call) and
+//     must not be stored into a struct field outside a constructor —
+//     the substream-ownership discipline per-shard determinism requires.
+//   - map-order-flow: extends ordered-map-emit from emission sites to
+//     state flow. Inside a map-range body: floating-point accumulation
+//     into outer state, order-dependent assignments to outer state
+//     (last-writer-wins, argmax), and event-scheduling calls (At / After /
+//     Every / Push / Schedule) are all map-order-dependent; sort the keys
+//     first. Per-key updates (outer[k] = v keyed by the loop variable) and
+//     associative integer counters are exempt by shape.
+//   - alloc-hot: composite-literal heap allocations, make, fresh-slice
+//     append growth, and interface boxing inside functions that carry a
+//     "Performance contract" doc comment in the hot-path packages
+//     (internal/geo, eventq, policy, buffer). The PR-4 contracts promise
+//     steady-state allocation-free operation; this check keeps the promise
+//     machine-verified.
+//
+// A package that passes the shard-safety checks can declare it with a
+// `//lint:shard-safe <reason>` comment; Coverage reports which engine
+// packages are certified and how many annotated exemptions each carries.
+//
 // Findings can be suppressed with a `//lint:ignore <check> <reason>`
-// comment on the flagged line or the line above it. Malformed or
-// unknown-check directives are themselves reported (check "lint-directive"),
-// so a typo cannot silently disable enforcement.
+// comment on the flagged line or the line above it; shard-safety findings
+// also accept a `//lint:invariant <reason>` annotation for deliberate,
+// explained touchpoints. Malformed or unknown-check directives are
+// themselves reported (check "lint-directive"), so a typo cannot silently
+// disable enforcement.
 //
 // Diagnostics are emitted in a deterministic order (file, line, column,
 // check, message) with module-relative slash-separated paths, so the tool's
@@ -44,16 +84,39 @@ import (
 	"strings"
 )
 
-// CheckNames lists every check in the suite, in documentation order.
-// "lint-directive" (malformed suppression comments) always runs.
-var CheckNames = []string{
-	"no-wallclock",
-	"rng-discipline",
-	"no-panic",
-	"ordered-map-emit",
-	"float-eq",
-	"hot-dist",
+// CheckInfo is one registry entry: a check name and its one-line
+// description, printed by `dtnlint -list` and embedded in -json reports.
+type CheckInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
 }
+
+// Checks is the registry of every check in the suite, in documentation
+// order. "lint-directive" (malformed suppression comments) always runs and
+// is listed last.
+var Checks = []CheckInfo{
+	{"no-wallclock", "time.Now/time.Since outside the perf-timing allowlist; inject simulated time"},
+	{"rng-discipline", "math/rand import outside internal/rng; use injected rng.Stream substreams"},
+	{"no-panic", "panic in library code without a //lint:invariant unreachable-guard annotation"},
+	{"ordered-map-emit", "map-range loop emitting or collecting in randomized iteration order"},
+	{"float-eq", "bare ==/!= on floats in score math; use an epsilon or annotate the tie-break"},
+	{"hot-dist", "scalar Euclidean distance on the scan path; compare squared distances"},
+	{"shared-mutable", "package-level mutable state in an engine package; shards would race on it"},
+	{"no-conc-sim", "goroutine/channel/sync use inside the deterministic sim path"},
+	{"rng-escape", "RNG substream escaping its owning subsystem outside a constructor"},
+	{"map-order-flow", "map-iteration order flowing into engine state, scheduling, or float sums"},
+	{"alloc-hot", "allocation or interface boxing inside a Performance-contract hot function"},
+}
+
+// CheckNames lists every check name in the suite, in documentation order,
+// derived from the Checks registry.
+var CheckNames = func() []string {
+	names := make([]string, len(Checks))
+	for i, c := range Checks {
+		names[i] = c.Name
+	}
+	return names
+}()
 
 // KnownCheck reports whether name is a check of the suite (including the
 // implicit directive validator).
@@ -91,6 +154,18 @@ type Config struct {
 	// HotDistScope limits hot-dist to these directories; empty = everywhere.
 	// The default config lists the packages executed every scan tick.
 	HotDistScope []string
+	// EngineScope limits the shard-safety state checks (shared-mutable,
+	// rng-escape, map-order-flow) to these directories; empty = everywhere.
+	// The default config lists every package on the sharded-execution path.
+	EngineScope []string
+	// ConcAllow lists packages where goroutines, channels, and sync are
+	// legitimate (the experiment fan-out, bench harness, obs sinks, CLIs).
+	// no-conc-sim runs everywhere else; an empty list exempts nothing.
+	ConcAllow []string
+	// AllocHotScope limits alloc-hot to these directories; empty =
+	// everywhere. Within scope only functions whose doc comment carries a
+	// "Performance contract" marker are analyzed.
+	AllocHotScope []string
 }
 
 // DefaultConfig returns the scoping for this repository: the allowlist and
@@ -112,6 +187,32 @@ func DefaultConfig() Config {
 			"internal/network",
 			"internal/policy",
 			"internal/routing",
+		},
+		EngineScope: []string{
+			"internal/sim",
+			"internal/world",
+			"internal/network",
+			"internal/routing",
+			"internal/policy",
+			"internal/buffer",
+			"internal/mobility",
+			"internal/geo",
+			"internal/eventq",
+			"internal/fault",
+			"internal/msg",
+			"internal/rng",
+		},
+		ConcAllow: []string{
+			"internal/experiment", // worker fan-out across whole runs
+			"internal/bench",      // harness measurement plumbing
+			"internal/obs",        // sink side of the event stream
+			"cmd",                 // CLI signal handling and progress
+		},
+		AllocHotScope: []string{
+			"internal/geo",
+			"internal/eventq",
+			"internal/policy",
+			"internal/buffer",
 		},
 	}
 }
@@ -141,11 +242,11 @@ func inScope(rel string, entries []string) bool {
 
 // Diagnostic is one finding, addressed by module-relative position.
 type Diagnostic struct {
-	File  string // slash-separated, relative to the module root
-	Line  int
-	Col   int
-	Check string
-	Msg   string
+	File  string `json:"file"` // slash-separated, relative to the module root
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
 }
 
 // String formats the finding as path:line:col: [check] message.
@@ -210,6 +311,11 @@ func Run(m *Module, cfg Config) []Diagnostic {
 		{"ordered-map-emit", checkMapEmit},
 		{"float-eq", checkFloatEq},
 		{"hot-dist", checkHotDist},
+		{"shared-mutable", checkSharedMutable},
+		{"no-conc-sim", checkNoConcSim},
+		{"rng-escape", checkRNGEscape},
+		{"map-order-flow", checkMapOrderFlow},
+		{"alloc-hot", checkAllocHot},
 	}
 	for _, pkg := range m.Pkgs {
 		pass := &Pass{Pkg: pkg, Cfg: cfg, diags: &diags, fset: m.Fset}

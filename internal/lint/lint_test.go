@@ -82,7 +82,10 @@ func diffKeys(t *testing.T, got, want map[string]int) {
 // TestFixtures runs the full suite over each golden package with the
 // strict zero config and compares findings against the // want markers.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"wallclock", "rngdiscipline", "nopanic", "mapemit", "floateq", "hotdist"} {
+	for _, name := range []string{
+		"wallclock", "rngdiscipline", "nopanic", "mapemit", "floateq", "hotdist",
+		"sharedmutable", "noconcsim", "rngescape", "maporderflow", "allochot",
+	} {
 		t.Run(name, func(t *testing.T) {
 			m := loadFixture(t, name)
 			diffKeys(t, keyed(Run(m, Config{})), wantMarkers(t, name))
@@ -101,8 +104,14 @@ func TestDirectiveValidation(t *testing.T) {
 		"directives/directives.go:17:lint-directive": 1, // invariant without reason
 		"directives/directives.go:19:lint-directive": 1, // unknown directive kind
 		"directives/directives.go:20:float-eq":       1, // survives the broken suppressions
+		"directives/directives.go:27:lint-directive": 1, // shard-safe without reason
 	}
 	diffKeys(t, keyed(Run(m, Config{})), want)
+	for _, pkg := range m.Pkgs {
+		if pkg.shardSafe {
+			t.Error("a reasonless //lint:shard-safe still certified the package")
+		}
+	}
 }
 
 // TestChecksSubset verifies Config.Checks narrows the suite.

@@ -34,6 +34,14 @@ type Package struct {
 	// invariants maps file → line → true when a lint:invariant annotation
 	// sits on that line.
 	invariants map[string]map[int]bool
+	// shardSafe records a //lint:shard-safe certification directive in any
+	// of the package's files.
+	shardSafe bool
+	// ignoreCount counts lint:ignore directives per check name and
+	// invariantCount counts lint:invariant annotations — the coverage
+	// report's "annotated exemptions" per package.
+	ignoreCount    map[string]int
+	invariantCount int
 	// directiveProblems records malformed directives as findings.
 	directiveProblems []Diagnostic
 }
@@ -208,10 +216,11 @@ func parseDir(fset *token.FileSet, dir, path, rel, modPath string) (*Package, []
 		return nil, nil, err
 	}
 	pkg := &Package{
-		Path:       path,
-		Rel:        rel,
-		ignores:    make(map[string]map[int][]directive),
-		invariants: make(map[string]map[int]bool),
+		Path:        path,
+		Rel:         rel,
+		ignores:     make(map[string]map[int][]directive),
+		invariants:  make(map[string]map[int]bool),
+		ignoreCount: make(map[string]int),
 	}
 	var deps []string
 	for _, e := range entries {
@@ -278,6 +287,7 @@ func (p *Package) parseDirectives(fset *token.FileSet, f *ast.File, relName stri
 				}
 				p.ignores[relName][pos.Line] = append(p.ignores[relName][pos.Line],
 					directive{checks: []string{check}, reason: reason})
+				p.ignoreCount[check]++
 			case "invariant":
 				if strings.TrimSpace(rest) == "" {
 					p.directiveProblems = append(p.directiveProblems, Diagnostic{
@@ -290,6 +300,16 @@ func (p *Package) parseDirectives(fset *token.FileSet, f *ast.File, relName stri
 					p.invariants[relName] = make(map[int]bool)
 				}
 				p.invariants[relName][pos.Line] = true
+				p.invariantCount++
+			case "shard-safe":
+				if strings.TrimSpace(rest) == "" {
+					p.directiveProblems = append(p.directiveProblems, Diagnostic{
+						File: relName, Line: pos.Line, Col: pos.Column, Check: "lint-directive",
+						Msg: "malformed directive: want //lint:shard-safe <reason>",
+					})
+					continue
+				}
+				p.shardSafe = true
 			default:
 				p.directiveProblems = append(p.directiveProblems, Diagnostic{
 					File: relName, Line: pos.Line, Col: pos.Column, Check: "lint-directive",

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"path"
+)
+
+// shardChecks are the analyzers whose clean pass (or annotated exemptions)
+// a //lint:shard-safe certification claims.
+var shardChecks = map[string]bool{
+	"shared-mutable": true,
+	"no-conc-sim":    true,
+	"rng-escape":     true,
+	"map-order-flow": true,
+	"alloc-hot":      true,
+}
+
+// PackageCoverage summarizes one engine-path package's shard-safety state:
+// whether it declares //lint:shard-safe, how many shard-safety findings
+// survived suppression, and how many annotated exemptions (lint:invariant
+// annotations plus shard-check lint:ignore suppressions) it carries.
+type PackageCoverage struct {
+	Package    string `json:"package"` // module-relative directory; "." for the root
+	Certified  bool   `json:"certified"`
+	Findings   int    `json:"findings"`
+	Exemptions int    `json:"exemptions"`
+}
+
+// Report is the machine-readable output of one lint run: the check
+// registry, every surviving finding, and the shard-safety coverage of the
+// engine packages. Field order is fixed, so encoding/json renders it
+// byte-stable — the same property the tool enforces.
+type Report struct {
+	Checks      []CheckInfo       `json:"checks"`
+	Diagnostics []Diagnostic      `json:"diagnostics"`
+	Coverage    []PackageCoverage `json:"coverage"`
+}
+
+// Coverage computes the shard-safety certification summary for the engine
+// packages of m (every package when cfg.EngineScope is empty), given the
+// surviving diagnostics of a Run. Packages come back in path order.
+func Coverage(m *Module, cfg Config, diags []Diagnostic) []PackageCoverage {
+	findings := make(map[string]int) // package rel → surviving shard findings
+	for _, d := range diags {
+		if !shardChecks[d.Check] {
+			continue
+		}
+		dir := path.Dir(d.File)
+		if dir == "." {
+			dir = ""
+		}
+		findings[dir]++
+	}
+	var out []PackageCoverage
+	for _, pkg := range m.Pkgs {
+		if len(cfg.EngineScope) > 0 && !inScope(pkg.Rel, cfg.EngineScope) {
+			continue
+		}
+		exempt := pkg.invariantCount
+		for check, n := range pkg.ignoreCount {
+			if shardChecks[check] {
+				exempt += n
+			}
+		}
+		rel := pkg.Rel
+		if rel == "" {
+			rel = "."
+		}
+		out = append(out, PackageCoverage{
+			Package:    rel,
+			Certified:  pkg.shardSafe,
+			Findings:   findings[pkg.Rel],
+			Exemptions: exempt,
+		})
+	}
+	return out
+}
+
+// NewReport bundles a run's findings with the check registry and coverage.
+func NewReport(m *Module, cfg Config, diags []Diagnostic) Report {
+	if diags == nil {
+		diags = []Diagnostic{} // render as [] rather than null
+	}
+	cov := Coverage(m, cfg, diags)
+	if cov == nil {
+		cov = []PackageCoverage{}
+	}
+	return Report{Checks: Checks, Diagnostics: diags, Coverage: cov}
+}
+
+// WriteSummary renders the coverage table for humans: one line per engine
+// package with its certification state, surviving shard-safety findings,
+// and annotated exemptions.
+func WriteSummary(w io.Writer, cov []PackageCoverage) {
+	certified := 0
+	for _, c := range cov {
+		if c.Certified {
+			certified++
+		}
+	}
+	fmt.Fprintf(w, "shard-safety coverage: %d/%d engine packages certified\n", certified, len(cov))
+	for _, c := range cov {
+		state := "UNCERTIFIED"
+		if c.Certified {
+			state = "shard-safe"
+		}
+		fmt.Fprintf(w, "  %-20s %-12s findings=%d exemptions=%d\n",
+			c.Package, state, c.Findings, c.Exemptions)
+	}
+}

@@ -25,12 +25,29 @@ func TestRepoLintsClean(t *testing.T) {
 	if len(m.Pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; the module walk is missing code", len(m.Pkgs))
 	}
-	diags := Run(m, DefaultConfig())
+	cfg := DefaultConfig()
+	diags := Run(m, cfg)
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
 		t.Fatalf("repo has %d lint findings; run `make lint` for the same report", len(diags))
+	}
+
+	// Shard-safety certification: every engine-path package must declare
+	// //lint:shard-safe with a reason — a clean run alone is not a
+	// certification, and a new engine package cannot slip in uncertified.
+	cov := Coverage(m, cfg, diags)
+	if len(cov) != len(cfg.EngineScope) {
+		t.Fatalf("coverage has %d packages, want %d (one per EngineScope entry)", len(cov), len(cfg.EngineScope))
+	}
+	for _, c := range cov {
+		if !c.Certified {
+			t.Errorf("engine package %s is not //lint:shard-safe certified", c.Package)
+		}
+		if c.Findings != 0 {
+			t.Errorf("engine package %s has %d surviving shard-safety findings", c.Package, c.Findings)
+		}
 	}
 }
 
@@ -44,6 +61,9 @@ func TestDefaultConfigNamesRealPaths(t *testing.T) {
 	paths = append(paths, cfg.PanicScope...)
 	paths = append(paths, cfg.FloatEqScope...)
 	paths = append(paths, cfg.HotDistScope...)
+	paths = append(paths, cfg.EngineScope...)
+	paths = append(paths, cfg.ConcAllow...)
+	paths = append(paths, cfg.AllocHotScope...)
 	for _, p := range paths {
 		abs := filepath.Join("..", "..", filepath.FromSlash(p))
 		if _, err := os.Stat(abs); err != nil {

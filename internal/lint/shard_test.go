@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCheckRegistry pins the public registry: eleven checks, every one
+// named, documented, and mirrored into CheckNames in declaration order.
+func TestCheckRegistry(t *testing.T) {
+	if len(Checks) != 11 {
+		t.Fatalf("registry has %d checks, want 11", len(Checks))
+	}
+	seen := make(map[string]bool)
+	for i, c := range Checks {
+		if c.Name == "" || c.Doc == "" {
+			t.Errorf("check %d (%q) is missing a name or doc line", i, c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if CheckNames[i] != c.Name {
+			t.Errorf("CheckNames[%d] = %q, want %q", i, CheckNames[i], c.Name)
+		}
+	}
+	for name := range shardChecks {
+		if !seen[name] {
+			t.Errorf("shard check %q is not in the registry", name)
+		}
+	}
+}
+
+// TestCoverage runs the suite over fixtures and checks the certification
+// summary: sharedmutable declares //lint:shard-safe (certification is a
+// declaration, orthogonal to findings) and carries one invariant plus one
+// shard-check ignore; noconcsim declares nothing.
+func TestCoverage(t *testing.T) {
+	m := loadFixture(t, "sharedmutable")
+	diags := Run(m, Config{})
+	cov := Coverage(m, Config{}, diags)
+	if len(cov) != 1 {
+		t.Fatalf("coverage has %d entries, want 1: %v", len(cov), cov)
+	}
+	c := cov[0]
+	if c.Package != "sharedmutable" {
+		t.Errorf("coverage package = %q, want %q", c.Package, "sharedmutable")
+	}
+	if !c.Certified {
+		t.Error("sharedmutable declares //lint:shard-safe but is not certified")
+	}
+	if c.Findings != len(diags) {
+		t.Errorf("coverage findings = %d, want %d (every diagnostic is a shard check here)", c.Findings, len(diags))
+	}
+	if c.Findings == 0 {
+		t.Error("fixture produced no findings; the positives went missing")
+	}
+	if c.Exemptions != 2 {
+		t.Errorf("exemptions = %d, want 2 (one invariant + one ignored shared-mutable)", c.Exemptions)
+	}
+
+	m = loadFixture(t, "noconcsim")
+	cov = Coverage(m, Config{}, Run(m, Config{}))
+	if len(cov) != 1 || cov[0].Certified {
+		t.Errorf("noconcsim should be a single uncertified package: %v", cov)
+	}
+}
+
+// TestCoverageScope restricts the engine scope and requires out-of-scope
+// packages to vanish from the summary.
+func TestCoverageScope(t *testing.T) {
+	m := loadFixture(t, "noconcsim")
+	if cov := Coverage(m, Config{EngineScope: []string{"elsewhere"}}, nil); len(cov) != 0 {
+		t.Errorf("out-of-scope package still covered: %v", cov)
+	}
+}
+
+// TestReportJSON renders the machine-readable report and pins its shape:
+// the registry rides along, empty diagnostics render as [] (not null),
+// and coverage is present.
+func TestReportJSON(t *testing.T) {
+	m := loadFixture(t, "sharedmutable")
+	rep := NewReport(m, Config{}, nil)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"checks"`, `"diagnostics":[]`, `"coverage"`, `"shared-mutable"`, `"certified":true`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+// TestShardInvariantSuppression pins the exemption channel the engine
+// relies on: //lint:invariant silences the four shard-safety dataflow
+// checks but never alloc-hot, whose contract only //lint:ignore waives.
+func TestShardInvariantSuppression(t *testing.T) {
+	m := loadFixture(t, "maporderflow")
+	for _, d := range Run(m, Config{}) {
+		if strings.Contains(d.Msg, "barrier before anything observes it") {
+			t.Errorf("invariant-annotated finding survived: %v", d)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package allochot exercises the alloc-hot check: a function whose doc
+// comment carries a "Performance contract" promises steady-state
+// allocation-free operation, so composite literals, make, fresh appends,
+// closures, and interface boxing of non-pointer values inside it are
+// findings. Functions without the contract marker may allocate freely.
+package allochot
+
+// pool is reusable scratch space a contract function may grow in place.
+type pool struct {
+	items []int
+	out   []int
+}
+
+// sink accepts any value; passing a concrete non-pointer boxes it.
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// sprint is a variadic any sink.
+func sprint(vs ...any) int { return len(vs) }
+
+// fill reuses scratch.
+//
+// Performance contract: grows the reused backing slice in place only;
+// warm, fill allocates nothing.
+func (p *pool) fill(xs []int) {
+	p.items = append(p.items[:0], xs...)
+}
+
+// grow extends the same backing slice it assigns — in-place, exempt.
+//
+// Performance contract: amortized growth against reused backing.
+func (p *pool) grow(x int) {
+	p.items = append(p.items, x)
+}
+
+// heapLit allocates a composite literal per call.
+//
+// Performance contract: violated below, on purpose.
+func heapLit() *pool {
+	return &pool{} // want alloc-hot
+}
+
+// valueLit builds a struct value on the stack — not a heap allocation.
+//
+// Performance contract: value composites stay off the heap.
+func valueLit() pool {
+	return pool{}
+}
+
+// literals allocates a map and a slice literal per call.
+//
+// Performance contract: violated below, on purpose.
+func literals() int {
+	m := map[int]int{1: 1} // want alloc-hot
+	s := []int{2}          // want alloc-hot
+	return m[1] + s[0]
+}
+
+// maker allocates through the builtin.
+//
+// Performance contract: violated below, on purpose.
+func maker(n int) []int {
+	return make([]int, n) // want alloc-hot
+}
+
+// fresh appends into a different slice than it grows.
+//
+// Performance contract: violated below, on purpose.
+func fresh(p *pool, xs []int) []int {
+	p.out = append(p.items, xs...) // want alloc-hot
+	return p.out
+}
+
+// closure allocates a func literal per call.
+//
+// Performance contract: violated below, on purpose.
+func closure(x int) func() int {
+	return func() int { return x } // want alloc-hot
+}
+
+// boxes passes values across interface boundaries: concrete non-pointer
+// values allocate; pointers and nil ride the data word for free.
+//
+// Performance contract: violated below, on purpose.
+func boxes(p *pool, n int) int {
+	total := sink(n) // want alloc-hot
+	total += sink(p)
+	total += sink(nil)
+	total += sprint(n, p) // want alloc-hot
+	return total
+}
+
+// repass forwards its variadic slice — no boxing happens at this site.
+//
+// Performance contract: pure pass-through.
+func repass(vs ...any) int { return sprint(vs...) }
+
+// suppressed documents a sanctioned warm-up allocation.
+//
+// Performance contract: the warm-up below is measured and annotated.
+func suppressed(n int) []int {
+	//lint:ignore alloc-hot warm-up allocation measured and accepted
+	return make([]int, n)
+}
+
+// unmarked carries no contract and may allocate freely.
+func unmarked(n int) []int {
+	fns := []func() int{func() int { return n }}
+	return append(make([]int, 0, n), fns[0]())
+}

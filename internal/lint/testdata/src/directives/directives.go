@@ -19,3 +19,10 @@ func Bad(a, b float64) bool {
 	//lint:frobnicate unknown directive kind
 	return a == b
 }
+
+// badCert claims shard-safety with no reason: the certification is a
+// reviewed statement, so an empty one is itself a finding (and does not
+// certify the package).
+
+//lint:shard-safe
+func badCert() {}

@@ -1,0 +1,116 @@
+// Package maporderflow exercises the map-order-flow check: Go randomizes
+// map iteration order, so state mutated under a map range must be
+// order-independent. Floating-point accumulation is not associative,
+// last-writer-wins assignments keep whichever key the runtime visited
+// last, and scheduling calls turn map order into event order. Exempt by
+// shape: per-key updates, loop-invariant stores, integer counters, and
+// slice collection (which ordered-map-emit already polices).
+package maporderflow
+
+import "sort"
+
+// queue is a scheduling stand-in: At enqueues an event time.
+type queue struct{ times []float64 }
+
+// At records one scheduled time.
+func (q *queue) At(t float64) { q.times = append(q.times, t) }
+
+// sumFloat accumulates a float in map order — not associative.
+func sumFloat(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want map-order-flow
+	}
+	return sum
+}
+
+// countInt is associative and passes.
+func countInt(m map[int]float64) int {
+	n := 0
+	for range m {
+		n += 1
+	}
+	return n
+}
+
+// argmax keeps the last writer in map order: ties resolve to whichever
+// key the runtime happened to visit last.
+func argmax(m map[int]float64) int {
+	best := -1
+	var bestScore float64
+	for k, v := range m {
+		if v > bestScore {
+			best = k      // want map-order-flow
+			bestScore = v // want map-order-flow
+		}
+	}
+	return best
+}
+
+// perKey writes through the loop key — order-independent, exempt.
+func perKey(m, out map[int]float64) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// flagSet stores a loop-invariant value — idempotent across orders.
+func flagSet(m map[int]int) bool {
+	dirty := false
+	for range m {
+		dirty = true
+	}
+	return dirty
+}
+
+// collect delegates slice collection to ordered-map-emit, which accepts
+// the collect-then-sort idiom.
+func collect(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// schedule enqueues per map element — map order becomes event order.
+func schedule(m map[int]float64, q *queue) {
+	for _, v := range m {
+		q.At(v) // want map-order-flow
+	}
+}
+
+// perElement builds its queue inside the loop: per-element state never
+// outlives one iteration, so ordering cannot leak.
+func perElement(m map[int]float64) int {
+	total := 0
+	for _, v := range m {
+		var q queue
+		q.At(v)
+		total += len(q.times)
+	}
+	return total
+}
+
+// Suppression forms.
+
+// sumIgnored demonstrates //lint:ignore suppression.
+func sumIgnored(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:ignore map-order-flow fixture demonstrates suppression
+		sum += v
+	}
+	return sum
+}
+
+// sumInvariant carries the engine-style deliberate exemption.
+func sumInvariant(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:invariant the accumulator is reduced again at a barrier before anything observes it
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,69 @@
+package rng
+
+// node is a subsystem holding a draw callback and its own substream.
+type node struct {
+	draw func() uint64
+	s    *Stream
+}
+
+// NewNode is the sanctioned hand-off: closures (and streams) flow into a
+// subsystem through constructor parameters.
+func NewNode(draw func() uint64) *node { return &node{draw: draw} }
+
+// newOwned shows the constructor taking the stream itself.
+func newOwned(s *Stream) *node { return &node{s: s, draw: s.Uint64} }
+
+// storeClosure stows a stream-capturing closure in a long-lived field:
+// the closure drags the substream across the subsystem boundary.
+func storeClosure(n *node, s *Stream) {
+	n.draw = func() uint64 { return s.Uint64() } // want rng-escape
+}
+
+// leak returns a stream-capturing closure to an unknown caller.
+func leak(s *Stream) func() uint64 {
+	return func() uint64 { return s.Uint64() } // want rng-escape
+}
+
+// handOff passes a capturing closure to a non-constructor callee.
+func handOff(s *Stream, schedule func(func() uint64)) {
+	schedule(func() uint64 { return s.Uint64() }) // want rng-escape
+}
+
+// reseed overwrites a subsystem's substream mid-run.
+func (n *node) reseed(s *Stream) {
+	n.s = s // want rng-escape
+}
+
+// buildDriven hands a capturing closure to a constructor — the sanctioned
+// ownership transfer — and is not flagged.
+func buildDriven(s *Stream) *node {
+	return NewNode(func() uint64 { return s.Uint64() })
+}
+
+// localUse keeps ownership: immediately invoked and locally bound
+// closures never leave the enclosing function on their own.
+func localUse(s *Stream) uint64 {
+	double := func() uint64 { return s.Uint64() * 2 }
+	return func() uint64 { return double() + s.Uint64() }()
+}
+
+// fieldAccess closures reach the stream through its container; ownership
+// of the container, not the substream, is what moved, and the field-store
+// rule polices the container's own assignments.
+func fieldAccess(n *node) func() uint64 {
+	return func() uint64 { return n.s.Uint64() }
+}
+
+// Suppression forms.
+
+// reseedIgnored demonstrates //lint:ignore suppression.
+func (n *node) reseedIgnored(s *Stream) {
+	//lint:ignore rng-escape fixture demonstrates suppression
+	n.s = s
+}
+
+// reseedInvariant carries the engine-style deliberate exemption.
+func (n *node) reseedInvariant(s *Stream) {
+	//lint:invariant the replacement stream is split from the node's own lineage at a barrier, preserving the draw sequence
+	n.s = s
+}

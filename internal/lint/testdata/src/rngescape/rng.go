@@ -1,0 +1,23 @@
+// Package rng is the fixture stand-in for the engine's substream package:
+// the rng-escape analyzer identifies substreams by the named types Stream
+// and Source declared in a package named rng, so the fixture declares both
+// locally and exercises the escapes in the same package.
+package rng
+
+// Stream is the deterministic substream stand-in.
+type Stream struct{ state uint64 }
+
+// Uint64 advances the stream.
+func (s *Stream) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+// Source is the root-generator stand-in.
+type Source struct{ state uint64 }
+
+// NewSource seeds a root source.
+func NewSource(seed uint64) *Source { return &Source{state: seed} }
+
+// Derive splits off a substream.
+func (r *Source) Derive() *Stream { return &Stream{state: r.state + 1} }

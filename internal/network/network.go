@@ -20,6 +20,7 @@
 //   - Optional per-node radio ranges (both radios must reach), a battery
 //     model (EnergyConfig), and contact-trace replay (StartScheduled)
 //     extend the paper's fixed setup.
+//lint:shard-safe manager state is per-run; map iteration feeding the event stream is collect-then-sort throughout
 package network
 
 import (

@@ -23,6 +23,7 @@
 // break on ascending message ID, so the reusable path draws RNG and ranks
 // byte-identically to the throwaway SendOrder/PlanEviction convenience
 // functions.
+//lint:shard-safe the write-once policy registry is the single annotated package state; runtime state lives in per-run Orderer scratch
 package policy
 
 import (
@@ -108,6 +109,10 @@ func (r *ranking) Swap(i, j int) {
 
 // rank loads the items and their scores (computed in input order, which
 // matters for stateful policies like Random) and sorts them.
+//
+// Performance contract: copies into reused scratch slices in place and
+// sorts through the pointer receiver (no interface boxing of values);
+// warm, rank allocates nothing.
 func (r *ranking) rank(p Policy, v View, items []*msg.Stored, score func(Policy, View, *msg.Stored) float64) {
 	r.items = append(r.items[:0], items...)
 	r.scores = r.scores[:0]
@@ -124,6 +129,9 @@ func dropScore(p Policy, v View, s *msg.Stored) float64 { return p.DropScore(v, 
 // (first element = next to send). The sort is deterministic: ties break on
 // message ID. The input slice is not modified; the returned slice is
 // scratch space valid until the next call.
+//
+// Performance contract: ranks into the Orderer's reused scratch space;
+// warm, SendOrder allocates nothing.
 func (o *Orderer) SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
 	o.send.desc = true
 	o.send.rank(p, v, items, sendScore)
@@ -144,6 +152,9 @@ func SendOrder(p Policy, v View, items []*msg.Stored) []*msg.Stored {
 // newcomer is the weakest, reject it; otherwise evict the weakest and
 // retry. Victims are returned in eviction order; accept reports whether
 // incoming fits after those evictions. buf is not modified.
+//
+// Performance contract: ranks and collects victims in the Orderer's reused
+// scratch space; warm, PlanEviction allocates nothing.
 func (o *Orderer) PlanEviction(p Policy, v View, buf *buffer.Buffer, incoming *msg.Stored) (victims []*msg.Stored, accept bool) {
 	if incoming.M.Size > buf.Capacity() {
 		return nil, false

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	//lint:invariant the mutex only serializes Register calls made before any run starts; no lock is taken on the sim path once factories are frozen
 	"sync"
 
 	"sdsrp/internal/rng"
@@ -11,9 +12,16 @@ import (
 // randomness for policies that need it and may be ignored.
 type Factory func(stream *rng.Stream) Policy
 
+// The registry is the one deliberate piece of package state on the engine
+// path: user policies register once, at program start, before any world is
+// built. During a run every access is a read (ByName at construction), so
+// shards can never observe a mutation — the event stream is independent of
+// it. Registration mid-run would be a caller bug, not a determinism leak.
 var (
+	//lint:invariant write-once before any run; read-only at construction time, never on the event path
 	registryMu sync.RWMutex
-	registry   = map[string]Factory{}
+	//lint:invariant write-once before any run; read-only at construction time, never on the event path
+	registry = map[string]Factory{}
 )
 
 // Register makes a user-defined policy constructible through ByName (and

@@ -5,6 +5,7 @@
 // scenario seed. A single Engine is driven by one goroutine; cross-run
 // parallelism lives in internal/experiment, which runs independent engines
 // on a worker pool.
+//lint:shard-safe engine state is per-Engine; the wall-deadline watchdog is the one annotated wall-clock touchpoint and stops dispatch without reordering it
 package sim
 
 import (
@@ -257,6 +258,7 @@ func (e *Engine) Run(horizon float64) {
 			e.budgetHit = true
 			return
 		}
+		//lint:invariant the wall-clock deadline only decides WHEN to stop dispatching; it never reorders, drops, or injects events, so a run that finishes under the deadline is byte-identical to one with no deadline at all
 		if !e.deadline.IsZero() && e.processed%deadlineStride == 0 && time.Now().After(e.deadline) {
 			e.deadlineHit = true
 			return

@@ -1,6 +1,7 @@
 // Package world assembles a full simulation from a config.Scenario: engine,
 // mobility, hosts, radio, traffic, and TTL sweeps — the equivalent of the
 // ONE simulator's scenario loader.
+//lint:shard-safe run state is per-World; the traffic substream touchpoint is annotated where it is scheduled
 package world
 
 import (
@@ -459,6 +460,13 @@ func (w *World) scheduleTraffic(s *rng.Stream) {
 	var schedule func(now float64)
 	schedule = func(now float64) {
 		delay := s.Uniform(sc.GenIntervalLo, sc.GenIntervalHi)
+		// The traffic substream deliberately rides inside the scheduled
+		// closure: the generator is the world's own event chain, so every
+		// draw happens at a single global (time, seq) point in the stream.
+		// Under sharding, traffic generation stays a world-level (cross-
+		// shard) event source scheduled at the barrier, never per-shard —
+		// this closure is the documented touchpoint for that cut.
+		//lint:invariant traffic substream is world-owned; draws occur in global event order at scheduling points, so no shard can observe a different sequence
 		w.Engine.At(now+delay, func(at float64) {
 			nextID++
 			src := s.IntN(sc.Nodes)
