@@ -56,6 +56,7 @@ func main() {
 		snapInterval     = flag.Float64("snapshot-interval", 0, "emit a snapshot event into the event log every N sim-seconds (0 = off; needs -events)")
 		profileOut       = flag.String("profile", "", "write a CPU profile of the run to this path")
 		scanMode         = flag.String("scan", "", "connectivity scan strategy: lazy (default) or naive; both are byte-identical")
+		workers          = flag.Int("workers", 0, "sharded parallel scan goroutines (0/1 = serial; traces are byte-identical at any count)")
 		maxEvents        = flag.Uint64("max-events", 0, "stop the run after this many engine events and report partial metrics (0 = unbounded)")
 	)
 	flag.Parse()
@@ -146,6 +147,9 @@ func main() {
 	}
 	if *scanMode != "" {
 		sc.ScanMode = *scanMode
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
 	}
 	if *energyCap > 0 {
 		sc.Energy = config.Energy{Capacity: *energyCap, ScanPerSec: 0.5, TxPerSec: 15, RxPerSec: 10}

@@ -6,6 +6,7 @@ import (
 	"hash"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sync"
 
 	"sdsrp/internal/config"
@@ -72,13 +73,41 @@ func DenseScanScenario() config.Scenario {
 	return sc
 }
 
+// MCWorkers is the worker count the multi-core (-mc) cases run at:
+// runtime.NumCPU(), floored at 2 so the sharded scan path is exercised even
+// on a single-core host (where the goroutines merely interleave). The -mc
+// digests are host-independent either way — traces are byte-identical at
+// every worker count — only the wall-clock halves of the report vary.
+func MCWorkers() int {
+	if n := runtime.NumCPU(); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// withWorkers lifts a scenario generator into its sharded-scan twin.
+func withWorkers(gen func() config.Scenario, workers int) func() config.Scenario {
+	return func() config.Scenario {
+		sc := gen()
+		sc.Workers = workers
+		return sc
+	}
+}
+
 // Suite returns the fixed benchmark suite, in definition order. Names are
 // stable identifiers: reports key on them, and -cases filters by them.
+// Every "-mc" case is the same workload as its serial namesake at
+// Workers=MCWorkers(); its Sim digest must be identical to the serial one
+// (TestMultiCoreCasesMatchSerialDigests), so the pair measures scheduling
+// overhead/speedup with simulation outcome held fixed.
 func Suite() []Case {
 	return []Case{
 		scenarioCase("smoke", "16-node RWP smoke run (seconds-scale, golden-trace scenario)", SmokeScenario),
+		scenarioCase("smoke-mc", "smoke scenario under the sharded parallel scan (workers=NumCPU)", withWorkers(SmokeScenario, MCWorkers())),
 		scenarioCase("table2", "full Table II baseline: 100-node RWP, 18000 s, SDSRP", config.RandomWaypoint),
+		scenarioCase("table2-mc", "Table II under the sharded parallel scan (workers=NumCPU)", withWorkers(config.RandomWaypoint, MCWorkers())),
 		scenarioCase("table3", "full Table III: 200-taxi EPFL substitute, 18000 s, SDSRP", config.EPFL),
+		scenarioCase("table3-mc", "Table III under the sharded parallel scan (workers=NumCPU)", withWorkers(config.EPFL, MCWorkers())),
 		scenarioCase("densescan", "400-node traffic-free RWP over 15×12 km: contact-scan cost in isolation", DenseScanScenario),
 		experimentCase("fig8copies", "Fig. 8 a-c sweep: metrics vs initial copies (reduced scale)"),
 		experimentCase("fig8buffer", "Fig. 8 d-f sweep: metrics vs buffer size (reduced scale)"),

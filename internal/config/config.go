@@ -100,6 +100,17 @@ type Scenario struct {
 	// perf comparison and for custom mobility models whose MaxSpeed
 	// bound is not trusted.
 	ScanMode string
+	// Workers ≥ 2 runs the connectivity scan's sampling and candidate
+	// enumeration phases concurrently on that many spatially sharded
+	// goroutines (DESIGN.md §13), with every event committed serially at
+	// the window barrier — traces stay byte-identical to the serial
+	// engine for any worker count. 0 or 1 (the default) is fully serial.
+	// When the scenario admits no conservative lookahead window (an
+	// unbounded-MaxSpeed mobility model, or stripes narrower than one
+	// scan tick of head-on closing), the run silently falls back to the
+	// serial ScanMode strategy; Result.Perf.ShardWindows == 0 is the
+	// fallback signal.
+	Workers int
 
 	BufferBytes int64
 	MessageSize int64
@@ -267,6 +278,9 @@ func (s Scenario) Validate() error {
 	case "", "lazy", "naive":
 	default:
 		add("scan mode %q unknown (want \"lazy\" or \"naive\")", s.ScanMode)
+	}
+	if s.Workers < 0 {
+		add("workers %d must be non-negative (0 or 1 = serial)", s.Workers)
 	}
 	if s.MessageSize <= 0 {
 		add("message size %d must be positive", s.MessageSize)

@@ -1,24 +1,31 @@
 package core
 
-import "sdsrp/internal/msg"
+import (
+	"slices"
+
+	"sdsrp/internal/msg"
+)
 
 // DropRecord is one node's dropped-message record (paper Fig. 5): the set of
 // messages that node has evicted, stamped with the time of its latest drop.
 // Only the owner mutates its record; everyone else caches and forwards it.
+//
+// The set is a sorted id slice rather than a map: message ids are dense
+// small integers, gossip replaces whole records (a memcpy for a slice, a
+// rehash per element for a map), and the merge path diffs consecutive
+// generations with one linear walk. This representation is what keeps
+// DropTable.MergeFrom — the dominant per-contact cost of the dense paper
+// scenarios — off the profile.
 type DropRecord struct {
 	Owner int
 	Time  float64 // generation time of the record: the owner's latest drop
-	Set   map[msg.ID]struct{}
+	ids   []msg.ID
 }
 
-// clone returns a deep copy; merged-in records are cached by reference to
-// the gossip payload, so the owner's live record must never be shared.
-func (r *DropRecord) clone() *DropRecord {
-	c := &DropRecord{Owner: r.Owner, Time: r.Time, Set: make(map[msg.ID]struct{}, len(r.Set))}
-	for id := range r.Set {
-		c.Set[id] = struct{}{}
-	}
-	return c
+// Contains reports whether the record's set holds id.
+func (r *DropRecord) Contains(id msg.ID) bool {
+	_, ok := slices.BinarySearch(r.ids, id)
+	return ok
 }
 
 // DropTable is a node's view of every node's drop record, gossiped on
@@ -29,78 +36,121 @@ func (r *DropRecord) clone() *DropRecord {
 //   - RejectsIncoming: whether this node itself has dropped i and must
 //     refuse to receive it again ("nodes reject receiving the message
 //     already in their dropped lists").
+//
+// Storage is owner-indexed and id-indexed: records[owner] is the newest
+// known record for that node, and counts[id] the number of owners whose set
+// holds id. Both slices grow on demand, so the table still accepts sparse
+// or test-fabricated ids; real runs use the world's dense 1..K numbering.
 type DropTable struct {
 	self    int
-	records map[int]*DropRecord // owner -> newest known record
-	counts  map[msg.ID]int      // message -> #owners whose set contains it
+	records []*DropRecord // owner -> newest known record; nil = none
+	nrec    int           // non-nil records (Records)
+	counts  []int32       // message id -> #owners whose set contains it
 }
 
 // NewDropTable returns an empty table for node self.
 func NewDropTable(self int) *DropTable {
-	return &DropTable{
-		self:    self,
-		records: make(map[int]*DropRecord),
-		counts:  make(map[msg.ID]int),
+	return &DropTable{self: self}
+}
+
+// record returns the slot for owner, growing the table as needed.
+func (t *DropTable) record(owner int) *DropRecord {
+	if owner >= len(t.records) {
+		t.records = append(t.records, make([]*DropRecord, owner+1-len(t.records))...)
+	}
+	return t.records[owner]
+}
+
+func (t *DropTable) incCount(id msg.ID) {
+	if int(id) >= len(t.counts) {
+		t.counts = append(t.counts, make([]int32, int(id)+1-len(t.counts))...)
+	}
+	t.counts[id]++
+}
+
+func (t *DropTable) decCount(id msg.ID) {
+	if int(id) < len(t.counts) {
+		t.counts[id]--
 	}
 }
 
 // RecordDrop registers that this node evicted message id at time now,
 // updating its own record's generation time (only the owner may do this).
 func (t *DropTable) RecordDrop(id msg.ID, now float64) {
-	rec := t.records[t.self]
+	rec := t.record(t.self)
 	if rec == nil {
-		rec = &DropRecord{Owner: t.self, Set: make(map[msg.ID]struct{})}
+		rec = &DropRecord{Owner: t.self}
 		t.records[t.self] = rec
+		t.nrec++
 	}
 	rec.Time = now
-	if _, dup := rec.Set[id]; !dup {
-		rec.Set[id] = struct{}{}
-		t.counts[id]++
+	if pos, dup := slices.BinarySearch(rec.ids, id); !dup {
+		rec.ids = slices.Insert(rec.ids, pos, id)
+		t.incCount(id)
 	}
 }
 
 // MergeFrom absorbs every record in the peer's table that is newer than the
 // locally cached copy for the same owner, following the Fig. 5 update rule
 // (keep the record with the latest record time; a node's own record is
-// authoritative and never overwritten by gossip).
+// authoritative and never overwritten by gossip). A replaced record updates
+// the count index by a sorted diff walk of the two generations, so only ids
+// that actually changed hands cost anything; the cached copy reuses its
+// backing array, so steady-state gossip does not allocate.
 func (t *DropTable) MergeFrom(peer *DropTable) {
 	for owner, rec := range peer.records {
-		if owner == t.self {
+		if rec == nil || owner == t.self {
 			continue
 		}
-		cur := t.records[owner]
+		cur := t.record(owner)
 		if cur != nil && cur.Time >= rec.Time {
 			continue
 		}
-		if cur != nil {
-			for id := range cur.Set {
-				t.counts[id]--
-				if t.counts[id] == 0 {
-					delete(t.counts, id)
-				}
+		var old []msg.ID
+		if cur == nil {
+			cur = &DropRecord{Owner: owner}
+			t.records[owner] = cur
+			t.nrec++
+		} else {
+			old = cur.ids
+		}
+		// Diff walk: decrement ids only in the old generation, increment
+		// ids only in the new one; shared ids cost a comparison each.
+		i, j := 0, 0
+		for i < len(old) || j < len(rec.ids) {
+			switch {
+			case j >= len(rec.ids) || (i < len(old) && old[i] < rec.ids[j]):
+				t.decCount(old[i])
+				i++
+			case i >= len(old) || rec.ids[j] < old[i]:
+				t.incCount(rec.ids[j])
+				j++
+			default:
+				i, j = i+1, j+1
 			}
 		}
-		cp := rec.clone()
-		t.records[owner] = cp
-		for id := range cp.Set {
-			t.counts[id]++
-		}
+		cur.Time = rec.Time
+		cur.ids = append(cur.ids[:0], rec.ids...)
 	}
 }
 
 // DroppedCount returns d̂_i: the number of distinct nodes known to have
 // dropped message id.
-func (t *DropTable) DroppedCount(id msg.ID) int { return t.counts[id] }
+func (t *DropTable) DroppedCount(id msg.ID) int {
+	if int(id) >= len(t.counts) || id < 0 {
+		return 0
+	}
+	return int(t.counts[id])
+}
 
 // RejectsIncoming reports whether this node previously dropped id itself
 // and therefore refuses to store it again.
 func (t *DropTable) RejectsIncoming(id msg.ID) bool {
-	rec := t.records[t.self]
-	if rec == nil {
+	if t.self >= len(t.records) {
 		return false
 	}
-	_, ok := rec.Set[id]
-	return ok
+	rec := t.records[t.self]
+	return rec != nil && rec.Contains(id)
 }
 
 // Forget removes all knowledge of id (used when a message expires globally:
@@ -108,18 +158,26 @@ func (t *DropTable) RejectsIncoming(id msg.ID) bool {
 // live message would corrupt d̂_i, so callers gate it on TTL expiry.
 func (t *DropTable) Forget(id msg.ID) {
 	for _, rec := range t.records {
-		delete(rec.Set, id)
+		if rec == nil {
+			continue
+		}
+		if pos, ok := slices.BinarySearch(rec.ids, id); ok {
+			rec.ids = slices.Delete(rec.ids, pos, pos+1)
+		}
 	}
-	delete(t.counts, id)
+	if int(id) < len(t.counts) && id >= 0 {
+		t.counts[id] = 0
+	}
 }
 
 // Records returns the number of owner records known (diagnostics).
-func (t *DropTable) Records() int { return len(t.records) }
+func (t *DropTable) Records() int { return t.nrec }
 
 // Reset discards every record — the node's own and all gossiped copies.
 // Used by the fault layer's crash/reboot churn when a reboot wipes state;
 // peers still hold (and will re-gossip) this node's old record.
 func (t *DropTable) Reset() {
-	t.records = make(map[int]*DropRecord)
-	t.counts = make(map[msg.ID]int)
+	clear(t.records)
+	t.nrec = 0
+	clear(t.counts)
 }

@@ -75,6 +75,32 @@ func (g *Grid) Update(pos []Point) {
 	}
 }
 
+// UpdateSubset rebuilds the grid from only the listed item ids, reading
+// their coordinates from pos (which must have the full length n passed to
+// NewGrid — ids index into it). Queries then see just the subset: Pairs
+// enumerates pairs within it, in the deterministic order fixed by the
+// insertion sequence, so callers wanting the same order as Update must
+// pass ids in ascending order. Built for the sharded scan's per-stripe
+// grids (DESIGN.md §13), where each shard indexes its own node band plus
+// the neighbouring one.
+//
+// Performance contract: identical reuse behaviour to Update — warm buckets
+// and occupied list mean a steady-state rebuild allocates nothing.
+func (g *Grid) UpdateSubset(pos []Point, ids []int32) {
+	for _, ci := range g.occupied {
+		g.cells[ci] = g.cells[ci][:0]
+	}
+	g.occupied = g.occupied[:0]
+	copy(g.pos, pos)
+	for _, id := range ids {
+		ci := g.index(pos[id])
+		if len(g.cells[ci]) == 0 {
+			g.occupied = append(g.occupied, int32(ci))
+		}
+		g.cells[ci] = append(g.cells[ci], id)
+	}
+}
+
 // Pairs appends to out every unordered pair (a,b), a<b, whose distance is at
 // most radius, and returns the extended slice. radius must be ≤ the cell
 // size for completeness.

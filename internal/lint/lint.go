@@ -201,11 +201,13 @@ func DefaultConfig() Config {
 			"internal/fault",
 			"internal/msg",
 			"internal/rng",
+			"internal/shard",
 		},
 		ConcAllow: []string{
 			"internal/experiment", // worker fan-out across whole runs
 			"internal/bench",      // harness measurement plumbing
 			"internal/obs",        // sink side of the event stream
+			"internal/shard",      // the sanctioned fork-join barrier (DESIGN.md §13)
 			"cmd",                 // CLI signal handling and progress
 		},
 		AllocHotScope: []string{

@@ -70,6 +70,17 @@ type Config struct {
 	// ScanNaive; pick ScanNaive explicitly when memory is tighter than
 	// scan time.
 	Scan string
+	// Workers enables the sharded parallel scan (parscan.go, DESIGN.md
+	// §13) when ≥ 2: the area is cut into Workers vertical stripes whose
+	// position sampling and candidate-pair enumeration run concurrently
+	// inside a conservative lookahead window, with all event emission
+	// serialized at the window barrier — traces are byte-identical to the
+	// serial scanners for every worker count. 0 or 1 keeps the configured
+	// serial strategy. When the scenario admits no conservative window
+	// (an unbounded-MaxSpeed fleet, or stripes narrower than one tick of
+	// head-on closing), the Manager silently falls back to the serial
+	// strategy for the whole run; ShardStats distinguishes the cases.
+	Workers int
 }
 
 // Scan strategy names accepted by Config.Scan.
@@ -160,8 +171,15 @@ type Manager struct {
 	// until the nodes genuinely separate (nil unless flapping is enabled).
 	flapped map[pairKey]bool
 
-	// sweep is the lazy scan planner (nil in naive mode).
+	// sweep is the lazy scan planner (nil in naive and sharded modes).
 	sweep *sweep
+	// par is the sharded parallel scan state (nil unless Config.Workers
+	// ≥ 2 and the scenario admits a conservative lookahead window).
+	par *parScan
+	// Sharded-scan counters (see ShardStats).
+	shardWindows  uint64
+	shardBarriers uint64
+	shardHandoffs uint64
 	// downsBuf and freedBuf are per-tick scratch, reused so a steady-state
 	// scan allocates nothing.
 	downsBuf []pairKey
@@ -222,11 +240,18 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 		m.flapped = make(map[pairKey]bool)
 	}
 	switch cfg.Scan {
-	case "", ScanLazy:
-		m.sweep = newSweep(m)
-	case ScanNaive:
+	case "", ScanLazy, ScanNaive:
 	default:
 		return nil, fmt.Errorf("network: unknown scan strategy %q (want %q or %q)", cfg.Scan, ScanLazy, ScanNaive)
+	}
+	// The sharded parallel scan supersedes the serial strategies when it
+	// can construct a conservative window; otherwise the run falls back to
+	// the strategy Scan names (both orderings emit identical traces).
+	if cfg.Workers > 1 {
+		m.par = newParScan(m, cfg.Workers)
+	}
+	if m.par == nil && cfg.Scan != ScanNaive {
+		m.sweep = newSweep(m)
 	}
 	return m, nil
 }
@@ -237,6 +262,18 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 // pairs woken from the wheel.
 func (m *Manager) ScanStats() (checked, skipped, wakeups uint64) {
 	return m.pairsChecked, m.pairsSkipped, m.wakeups
+}
+
+// ShardStats reports the sharded parallel scan's progress counters: lookahead
+// windows opened (stripe reassignments), barriers crossed (two per scan tick
+// — after the sampling phase and after the enumeration phase), and hand-offs
+// (in-contact candidate pairs straddling two stripes, merged serially at the
+// barrier). All zero when the scan runs serially — including the silent
+// fallback when Config.Workers ≥ 2 but the scenario admits no conservative
+// window — so a zero windows counter on a Workers ≥ 2 run is the documented
+// fallback signal.
+func (m *Manager) ShardStats() (windows, barriers, handoffs uint64) {
+	return m.shardWindows, m.shardBarriers, m.shardHandoffs
 }
 
 // Start schedules the periodic connectivity scan. Call once before
@@ -271,6 +308,10 @@ func (m *Manager) Scan(now float64) {
 		for i := range m.hosts {
 			m.energy.drain(i, m.cfg.Energy.ScanPerSec*m.cfg.ScanInterval, now)
 		}
+	}
+	if m.par != nil {
+		m.scanSharded(now)
+		return
 	}
 	if m.sweep != nil {
 		m.scanLazy(now)

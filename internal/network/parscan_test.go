@@ -1,0 +1,176 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+
+	"sdsrp/internal/core"
+	"sdsrp/internal/geo"
+	"sdsrp/internal/mobility"
+	"sdsrp/internal/obs"
+	"sdsrp/internal/policy"
+	"sdsrp/internal/routing"
+	"sdsrp/internal/sim"
+	"sdsrp/internal/stats"
+)
+
+// mover is a constant-velocity test model with an honest MaxSpeed bound —
+// unlike puppet it can participate in the sharded scan, whose lookahead
+// window trusts the bound.
+type mover struct {
+	p0    geo.Point
+	vx    float64
+	speed float64
+}
+
+func (m *mover) Pos(t float64) geo.Point { return geo.Point{X: m.p0.X + m.vx*t, Y: m.p0.Y} }
+func (m *mover) MaxSpeed() float64       { return m.speed }
+
+// parRig builds a 6-node fleet engineered to produce three link-ups at the
+// same scan tick in three different shard territories: one pair interior to
+// stripe 0, one interior to stripe 1 (of a 2-worker split over the 2000 m
+// area), and one straddling the boundary (a hand-off pair). Every pair
+// starts 112 m apart closing at 2 m/s, so all three cross the 100 m range
+// threshold between the t=5 and t=6 scans.
+func parRig(workers int, scan string, sink *bytes.Buffer) (*sim.Engine, *Manager, func() error) {
+	eng := sim.NewEngine()
+	collector := stats.NewCollector()
+	tracker := routing.NewTracker()
+	starts := [][2]float64{
+		{200, 312},   // stripe 0 interior
+		{1500, 1612}, // stripe 1 interior
+		{944, 1056},  // straddles the 1000 m boundary
+	}
+	var hosts []*routing.Host
+	var models []mobility.Model
+	id := 0
+	for _, s := range starts {
+		models = append(models,
+			&mover{p0: geo.Point{X: s[0], Y: float64(100 * id)}, vx: 1, speed: 1},
+			&mover{p0: geo.Point{X: s[1], Y: float64(100 * id)}, vx: -1, speed: 1})
+		id++
+	}
+	for i := range models {
+		hosts = append(hosts, routing.NewHost(routing.HostConfig{
+			ID: i, Nodes: len(models), Buffer: 1 << 20,
+			Policy: policy.FIFO{}, Proto: routing.SprayAndWait{Binary: true},
+			Rate:      core.FixedRate{Mean: 1200},
+			Clock:     eng.Now,
+			Collector: collector,
+			Tracker:   tracker,
+			Oracle:    tracker,
+		}))
+	}
+	jsonl := obs.NewJSONL(sink)
+	mgr := mustManager(NewManager(eng, Config{
+		Area: geo.NewRect(2000, 1000), Range: 100, Bandwidth: 100, ScanInterval: 1,
+		Scan: scan, Workers: workers, Tracer: jsonl,
+	}, hosts, models, collector, nil))
+	mgr.Start()
+	return eng, mgr, jsonl.Flush
+}
+
+// TestBarrierMergeOrdersSimultaneousCrossShardUps is the focused unit test
+// for the merge phase (DESIGN.md §13): three contacts appearing at the same
+// timestamp in three different shard territories — including one hand-off
+// pair owned across the stripe boundary — must be committed in exactly the
+// order the serial naive scanner emits, byte for byte.
+func TestBarrierMergeOrdersSimultaneousCrossShardUps(t *testing.T) {
+	var naive, par bytes.Buffer
+	engN, _, flushN := parRig(1, ScanNaive, &naive)
+	engN.Run(10)
+	if err := flushN(); err != nil {
+		t.Fatal(err)
+	}
+	engP, mgrP, flushP := parRig(2, ScanNaive, &par)
+	if mgrP.par == nil {
+		t.Fatal("2-worker rig did not construct the sharded scan (window refused?)")
+	}
+	engP.Run(10)
+	if err := flushP(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(naive.Bytes(), par.Bytes()) {
+		nl := bytes.Split(naive.Bytes(), []byte("\n"))
+		pl := bytes.Split(par.Bytes(), []byte("\n"))
+		n := min(len(nl), len(pl))
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(nl[i], pl[i]) {
+				t.Fatalf("merge order diverges at line %d:\n  naive:   %s\n  sharded: %s", i+1, nl[i], pl[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: naive %d, sharded %d", len(nl), len(pl))
+	}
+	if mgrP.Contacts() != 3 {
+		t.Fatalf("expected 3 simultaneous contacts, got %d", mgrP.Contacts())
+	}
+	windows, barriers, handoffs := mgrP.ShardStats()
+	if windows == 0 || barriers == 0 {
+		t.Fatalf("sharded path inert: windows=%d barriers=%d", windows, barriers)
+	}
+	// Two barriers per scan tick, ticks at t=1..10.
+	if barriers != 20 {
+		t.Fatalf("barriers = %d, want 20 (2 per tick × 10 ticks)", barriers)
+	}
+	if handoffs == 0 {
+		t.Fatal("boundary pair never counted as a hand-off")
+	}
+}
+
+// TestNewParScanRefusals pins every serial-fallback condition the
+// constructor documents.
+func TestNewParScanRefusals(t *testing.T) {
+	build := func(workers int, models []mobility.Model, area geo.Rect, interval float64) *Manager {
+		eng := sim.NewEngine()
+		collector := stats.NewCollector()
+		tracker := routing.NewTracker()
+		var hosts []*routing.Host
+		for i := range models {
+			hosts = append(hosts, routing.NewHost(routing.HostConfig{
+				ID: i, Nodes: len(models), Buffer: 1 << 20,
+				Policy: policy.FIFO{}, Proto: routing.SprayAndWait{Binary: true},
+				Rate: core.FixedRate{Mean: 1200}, Clock: eng.Now,
+				Collector: collector, Tracker: tracker, Oracle: tracker,
+			}))
+		}
+		return mustManager(NewManager(eng, Config{
+			Area: area, Range: 100, Bandwidth: 100, ScanInterval: interval,
+			Workers: workers,
+		}, hosts, models, collector, nil))
+	}
+	slow := func(n int) []mobility.Model {
+		var ms []mobility.Model
+		for i := 0; i < n; i++ {
+			ms = append(ms, &mover{p0: geo.Point{X: float64(200 * i)}, speed: 1})
+		}
+		return ms
+	}
+	area := geo.NewRect(2000, 1000)
+
+	if m := build(2, slow(4), area, 1); m.par == nil {
+		t.Fatal("bounded fleet with wide stripes should shard")
+	}
+	// One unbounded model poisons the fleet-wide window.
+	inf := slow(4)
+	inf[2] = &puppet{p: geo.Point{X: 400}}
+	if m := build(2, inf, area, 1); m.par != nil {
+		t.Fatal("+Inf MaxSpeed fleet must fall back to serial")
+	}
+	// Stripes narrower than the radio range leave no gap.
+	if m := build(64, slow(4), area, 1); m.par != nil {
+		t.Fatal("64 stripes over 2000 m (31 m bands < 100 m range) must fall back")
+	}
+	// A scan interval so coarse one tick of closing crosses the gap: band
+	// 1000 m, gap 900 m, 2 m/s mutual closing × 500 s tick = 1000 m ≥ gap.
+	if m := build(2, slow(4), area, 500); m.par != nil {
+		t.Fatal("gap smaller than one tick of closing must fall back")
+	}
+	// Degenerate populations.
+	if m := build(1, slow(4), area, 1); m.par != nil {
+		t.Fatal("workers=1 must stay serial")
+	}
+	if m := build(2, slow(1), area, 1); m.par != nil {
+		t.Fatal("single-node fleet must stay serial")
+	}
+}

@@ -1,0 +1,121 @@
+// Package shard provides the two primitives of the deterministic parallel
+// scan (DESIGN.md §13): the conservative lookahead-window arithmetic derived
+// from the mobility.Model MaxSpeed contract, and a fork-join pool that runs
+// one closure per spatial shard and blocks at a barrier until all complete.
+//
+// The execution model is "parallel propose, serial commit": shards run
+// read-only or shard-private work between barriers (position sampling,
+// candidate-pair enumeration), and every state mutation that can reach the
+// event stream happens in the single-threaded merge phase that follows the
+// barrier. The pool is therefore the only place in the engine where
+// goroutines exist; everything it runs must be data-race-free by
+// construction (disjoint writes, read-only shared state), and the caller —
+// not the pool — owns that proof (network.parScan documents its own).
+//
+// Goroutines are spawned per Run call rather than kept in a persistent
+// worker pool: a spawn is ~1µs, runs are ~100µs–10ms of scan work, and the
+// absence of long-lived goroutines means no Close/lifecycle plumbing, no
+// leak risk across the thousands of engine runs a sweep performs, and
+// nothing for the race detector to misattribute between runs.
+//
+//lint:shard-safe the pool is the sanctioned barrier primitive: per-call WaitGroup fork-join, no package state, no RNG, no time
+package shard
+
+import (
+	"math"
+	"sync"
+)
+
+// MaxWindowTicks caps the lookahead window for all-static fleets (MaxSpeed
+// 0 makes the physics bound infinite). Re-deriving the stripe assignment
+// every 1024 ticks costs nothing measurable and keeps the window counter
+// live as a heartbeat in long runs.
+const MaxWindowTicks = 1024
+
+// WindowTicks returns the length, in scan ticks, of the conservative
+// lookahead window: the number of consecutive ticks two node populations
+// separated by at least gap metres can be processed independently before
+// motion could have carried a pair of them into radio contact.
+//
+// The physics bound is gap/(2·maxSpeed) seconds — two nodes closing
+// head-on at maxSpeed each eat the gap at 2·maxSpeed m/s — floored to
+// whole ticks of interval seconds. The returned W is strict: motion over
+// W ticks covers < gap metres even when the division is exact, so a pair
+// straddling a window boundary can never be missed.
+//
+// Degenerate inputs return the serial sentinel 0 (no parallel window
+// exists): non-positive gap or interval, infinite or NaN maxSpeed (the
+// MaxSpeed contract allows +Inf for "unbounded"), or a gap too small to
+// survive even one tick of closing. maxSpeed 0 (an all-static fleet)
+// returns MaxWindowTicks rather than an unbounded window. Mixed-speed
+// fleets must pass the fleet-wide maximum — any under-report voids the
+// bound, exactly as it would void the lazy scanner's park deadlines.
+func WindowTicks(gap, maxSpeed, interval float64) int {
+	if !(gap > 0) || !(interval > 0) {
+		return 0
+	}
+	if math.IsInf(maxSpeed, 1) || math.IsNaN(maxSpeed) || maxSpeed < 0 {
+		return 0
+	}
+	if maxSpeed == 0 {
+		return MaxWindowTicks
+	}
+	w := int(math.Floor(gap / (2 * maxSpeed * interval)))
+	// Enforce strictness: W ticks of mutual closing must cover strictly
+	// less than gap, or an exactly-divisible gap lands a pair in contact
+	// on the last tick of the window.
+	for w > 0 && 2*maxSpeed*interval*float64(w) >= gap {
+		w--
+	}
+	if w > MaxWindowTicks {
+		w = MaxWindowTicks
+	}
+	return w
+}
+
+// Pool runs per-shard closures concurrently and joins them at a barrier.
+// A pool with one worker (or a single-shard run) executes inline on the
+// caller's goroutine — the serial engine never pays for the machinery.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool that runs up to workers closures concurrently.
+// Values below 1 are treated as 1 (serial).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the concurrency the pool was built with.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run invokes fn(s) for every shard s in [0, n) and returns only when all
+// invocations have completed — the window barrier. Shard 0 runs on the
+// caller's goroutine; shards 1..n-1 each get a fresh goroutine when the
+// pool is concurrent. fn must confine its writes to shard-private state
+// (anything indexed by s, or disjoint slices agreed with the caller);
+// shared reads are safe because no Run participant writes shared state.
+func (p *Pool) Run(n int, fn func(s int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for s := 0; s < n; s++ {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for s := 1; s < n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	fn(0)
+	wg.Wait()
+}

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWindowTicks pins the lookahead arithmetic the parallel scan's
+// correctness argument rests on (DESIGN.md §13): the window must be
+// strictly shorter than the time two head-on movers need to close the
+// stripe gap, degenerate speeds must force the serial fallback, and
+// static fleets must hit the cap rather than an unbounded window.
+func TestWindowTicks(t *testing.T) {
+	cases := []struct {
+		name                 string
+		gap, speed, interval float64
+		want                 int
+	}{
+		// Plain case: 101 m gap, 5 m/s closing each side, 1 s ticks →
+		// 2·5·10 = 100 < 101, ten safe ticks.
+		{"typical", 101, 5, 1, 10},
+		// Exactly divisible gap: 100/(2·5·1) = 10, but 10 ticks of closing
+		// reach the gap exactly — strictness demands 9.
+		{"exact-division-conservative", 100, 5, 1, 9},
+		// Gap smaller than one tick of mutual closing → serial fallback.
+		{"gap-under-one-tick", 5, 5, 1, 0},
+		{"gap-exactly-one-tick", 10, 5, 1, 0},
+		// Zero-speed fleet: physics bound is infinite, capped instead.
+		{"all-static-capped", 100, 0, 1, MaxWindowTicks},
+		{"static-huge-gap-capped", 1e12, 0, 0.1, MaxWindowTicks},
+		// MaxSpeed contract allows +Inf ("unbounded"): no window exists.
+		{"inf-speed-serial", 100, math.Inf(1), 1, 0},
+		{"nan-speed-serial", 100, math.NaN(), 1, 0},
+		{"negative-speed-serial", 100, -3, 1, 0},
+		// Degenerate geometry/time.
+		{"zero-gap", 0, 5, 1, 0},
+		{"negative-gap", -10, 5, 1, 0},
+		{"zero-interval", 100, 5, 0, 0},
+		{"nan-gap", math.NaN(), 5, 1, 0},
+		// Coarse ticks shrink the window in tick units.
+		{"coarse-interval", 101, 5, 10, 1},
+		{"coarse-interval-too-big", 101, 5, 11, 0},
+		// Cap applies to slow movers over huge gaps too.
+		{"slow-mover-capped", 1e9, 0.001, 1, MaxWindowTicks},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := WindowTicks(c.gap, c.speed, c.interval); got != c.want {
+				t.Fatalf("WindowTicks(%v, %v, %v) = %d, want %d", c.gap, c.speed, c.interval, got, c.want)
+			}
+		})
+	}
+}
+
+// TestWindowTicksMixedFleet documents the caller obligation: a mixed-speed
+// fleet parameterizes the window by its fastest member, and the resulting
+// window is valid (strict) for every slower pairing too.
+func TestWindowTicksMixedFleet(t *testing.T) {
+	speeds := []float64{0, 1.5, 13.9, 2.7} // pedestrians + one vehicle
+	cmax := 0.0
+	for _, s := range speeds {
+		cmax = math.Max(cmax, s)
+	}
+	w := WindowTicks(500, cmax, 1)
+	if w < 1 {
+		t.Fatalf("fleet window collapsed to serial: %d", w)
+	}
+	// The fleet-wide window must satisfy the strict bound for the fastest
+	// pair; slower pairs close more slowly, so the same W covers them.
+	if 2*cmax*float64(w) >= 500 {
+		t.Fatalf("window %d not strict for cmax=%v", w, cmax)
+	}
+	for _, s := range speeds {
+		if 2*s*float64(w) >= 500 {
+			t.Fatalf("window %d unsafe for member speed %v", w, s)
+		}
+	}
+}
+
+// TestWindowTicksStrictness property-checks the bound over a grid of
+// inputs: whenever a window is granted, W ticks of head-on closing must
+// cover strictly less than the gap.
+func TestWindowTicksStrictness(t *testing.T) {
+	for _, gap := range []float64{0.1, 1, 37, 100, 1234.5} {
+		for _, speed := range []float64{0.01, 0.5, 1, 13.9, 250} {
+			for _, interval := range []float64{0.1, 1, 25, 3600} {
+				w := WindowTicks(gap, speed, interval)
+				if w < 0 {
+					t.Fatalf("negative window for (%v,%v,%v)", gap, speed, interval)
+				}
+				if w > 0 && 2*speed*interval*float64(w) >= gap {
+					t.Fatalf("WindowTicks(%v,%v,%v)=%d violates strict bound", gap, speed, interval, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolRunCoversEveryShard checks the fork-join contract for serial and
+// concurrent pools: every shard index in [0,n) runs exactly once and Run
+// does not return before all complete (the counter is fully settled at the
+// barrier). Run under -race this also witnesses that disjoint per-shard
+// writes are the data-race-free pattern the scan relies on.
+func TestPoolRunCoversEveryShard(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 2, 4, 7, 16} {
+			p := NewPool(workers)
+			hits := make([]int32, n)
+			var total atomic.Int32
+			p.Run(n, func(s int) {
+				atomic.AddInt32(&hits[s], 1)
+				total.Add(1)
+			})
+			if int(total.Load()) != n {
+				t.Fatalf("workers=%d n=%d: %d invocations, want %d", workers, n, total.Load(), n)
+			}
+			for s, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: shard %d ran %d times", workers, n, s, h)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolRunIsABarrier stresses that writes made inside Run are visible
+// after it returns, phase after phase — the property the scan's
+// sample/enumerate/commit sequencing depends on.
+func TestPoolRunIsABarrier(t *testing.T) {
+	p := NewPool(4)
+	const n = 8
+	buf := make([]int, n)
+	for round := 1; round <= 50; round++ {
+		p.Run(n, func(s int) { buf[s] = round })
+		for s, v := range buf {
+			if v != round {
+				t.Fatalf("round %d: shard %d write not visible after barrier (got %d)", round, s, v)
+			}
+		}
+	}
+}
+
+func TestNewPoolClampsWorkers(t *testing.T) {
+	if got := NewPool(-3).Workers(); got != 1 {
+		t.Fatalf("NewPool(-3).Workers() = %d, want 1", got)
+	}
+	if got := NewPool(6).Workers(); got != 6 {
+		t.Fatalf("NewPool(6).Workers() = %d, want 6", got)
+	}
+}

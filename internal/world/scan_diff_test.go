@@ -89,11 +89,13 @@ func assertScanModesAgree(t *testing.T, sc config.Scenario) {
 	}
 }
 
-// TestLazyScanMatchesNaive is the differential property test: across seeds,
-// every mobility kind, per-node ranges, and churn/flap faults, the lazy
-// scanner's event stream must be byte-identical to the naive scanner's.
-func TestLazyScanMatchesNaive(t *testing.T) {
-	cases := map[string]func() config.Scenario{
+// diffFamilies is the scenario matrix shared by every scanner-equivalence
+// test: all mobility kinds, per-node ranges, churn/flap faults, and energy
+// death. TestLazyScanMatchesNaive runs it lazy-vs-naive;
+// TestWorkerCountsMatchSerial (workers_diff_test.go) runs it across
+// parallel worker counts.
+func diffFamilies() map[string]func() config.Scenario {
+	return map[string]func() config.Scenario{
 		"rwp": diffBase,
 		"random-walk": func() config.Scenario {
 			sc := diffBase()
@@ -167,7 +169,13 @@ func TestLazyScanMatchesNaive(t *testing.T) {
 			return sc
 		},
 	}
-	for name, mk := range cases {
+}
+
+// TestLazyScanMatchesNaive is the differential property test: across seeds,
+// every mobility kind, per-node ranges, and churn/flap faults, the lazy
+// scanner's event stream must be byte-identical to the naive scanner's.
+func TestLazyScanMatchesNaive(t *testing.T) {
+	for name, mk := range diffFamilies() {
 		for _, seed := range []uint64{1, 2, 3} {
 			sc := mk()
 			sc.Seed = seed

@@ -1,0 +1,148 @@
+package world
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"sdsrp/internal/config"
+	"sdsrp/internal/obs"
+)
+
+// runWorkers executes sc with the given worker count under the default scan
+// mode and returns the full JSONL trace, the result, and the contact log.
+func runWorkers(t *testing.T, sc config.Scenario, workers int) ([]byte, Result) {
+	t.Helper()
+	sc.Workers = workers
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	w, err := Build(sc, WithTracer(jsonl))
+	if err != nil {
+		t.Fatalf("build (workers=%d): %v", workers, err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatalf("flush (workers=%d): %v", workers, err)
+	}
+	return buf.Bytes(), res
+}
+
+// workerCounts returns the deduplicated, sorted differential matrix
+// {1, 2, 4, NumCPU} the acceptance criterion names.
+func workerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var counts []int
+	for w := range set {
+		counts = append(counts, w)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// TestWorkerCountsMatchSerial is the parallel-DES acceptance gate: across
+// every scenario family and seed of the scanner-differential matrix, the
+// sharded scan must emit a byte-identical event trace for workers ∈
+// {1, 2, 4, NumCPU}. Combined with TestLazyScanMatchesNaive this pins the
+// whole equivalence chain: sharded ≡ lazy ≡ naive for every worker count.
+//
+// Fallback is legitimate: a family whose fleet speed or radio range leaves
+// no conservative window (taxi replay's measured speeds, wide static-relay
+// radios at high worker counts) runs serially and trivially matches. The
+// parallelEngages map ensures the test cannot silently degenerate into
+// serial-vs-serial everywhere: families known to admit a window at
+// workers=2 must report shard windows > 0.
+func TestWorkerCountsMatchSerial(t *testing.T) {
+	// Families whose 2-worker stripe geometry provably admits a window on
+	// the diffBase area (1500 m wide → 750 m bands, ≤ 400 m radios, fleet
+	// speeds ≤ 6 m/s): the sharded path must actually engage there.
+	parallelEngages := map[string]bool{
+		"rwp":                                  true,
+		"random-walk":                          true,
+		"random-direction":                     true,
+		"groups-static-relays-per-node-ranges": true,
+		"churn":                                true,
+		"static-relays-churn":                  true,
+		"flap-and-loss":                        true,
+		"energy-death":                         true,
+	}
+	counts := workerCounts()
+	for name, mk := range diffFamilies() {
+		for _, seed := range []uint64{1, 2, 3} {
+			sc := mk()
+			sc.Seed = seed
+			sc.Name = fmt.Sprintf("wdiff-%s-%d", name, seed)
+			mustEngage := parallelEngages[name]
+			t.Run(sc.Name, func(t *testing.T) {
+				t.Parallel()
+				serial, resS := runWorkers(t, sc, 1)
+				if resS.Perf.ShardWindows != 0 || resS.Perf.ShardBarriers != 0 {
+					t.Fatalf("serial run reported shard counters: %+v", resS.Perf)
+				}
+				for _, workers := range counts[1:] {
+					par, resP := runWorkers(t, sc, workers)
+					if !bytes.Equal(serial, par) {
+						sl := bytes.Split(serial, []byte("\n"))
+						pl := bytes.Split(par, []byte("\n"))
+						n := min(len(sl), len(pl))
+						for i := 0; i < n; i++ {
+							if !bytes.Equal(sl[i], pl[i]) {
+								t.Fatalf("workers=%d diverges at trace line %d:\n  serial:   %s\n  workers: %s",
+									workers, i+1, sl[i], pl[i])
+							}
+						}
+						t.Fatalf("trace length differs: serial %d lines, workers=%d %d lines",
+							len(sl), workers, len(pl))
+					}
+					if resS.Summary != resP.Summary {
+						t.Fatalf("summaries diverge at workers=%d:\nserial:   %+v\nparallel: %+v",
+							workers, resS.Summary, resP.Summary)
+					}
+					if resS.Contacts != resP.Contacts || resS.MeanContactDuration != resP.MeanContactDuration {
+						t.Fatalf("contact digests diverge at workers=%d", workers)
+					}
+					if resS.Perf.Events != resP.Perf.Events || resS.Perf.PeakQueue != resP.Perf.PeakQueue {
+						t.Fatalf("event accounting diverges at workers=%d: serial (%d, %d) parallel (%d, %d)",
+							workers, resS.Perf.Events, resS.Perf.PeakQueue, resP.Perf.Events, resP.Perf.PeakQueue)
+					}
+					if workers == 2 && mustEngage {
+						if resP.Perf.ShardWindows == 0 {
+							t.Errorf("workers=2 fell back to serial on a family that admits a window (perf %+v)", resP.Perf)
+						}
+						if resP.Perf.ShardBarriers == 0 {
+							t.Errorf("workers=2 crossed no barriers — sharded path inert")
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersFallbackIsExact pins the documented fallback: a worker count
+// whose stripes are too narrow for the fleet (or any scenario without a
+// conservative window) must run serially — zero shard counters — and still
+// match the serial trace byte for byte.
+func TestWorkersFallbackIsExact(t *testing.T) {
+	sc := diffBase()
+	sc.Seed = 7
+	sc.Name = "wdiff-fallback"
+	// 64 stripes over 1500 m → 23 m bands, far below the 100 m radio
+	// range: no window exists, the run must fall back.
+	serial, resS := runWorkers(t, sc, 1)
+	par, resP := runWorkers(t, sc, 64)
+	if resP.Perf.ShardWindows != 0 {
+		t.Fatalf("expected serial fallback at 64 workers, got %d shard windows", resP.Perf.ShardWindows)
+	}
+	if !bytes.Equal(serial, par) {
+		t.Fatal("fallback trace diverges from serial")
+	}
+	if !reflect.DeepEqual(resS.Summary, resP.Summary) {
+		t.Fatalf("fallback summary diverges:\n%+v\n%+v", resS.Summary, resP.Summary)
+	}
+}

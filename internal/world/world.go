@@ -78,8 +78,14 @@ type Result struct {
 	MeanIntermeeting float64
 	ExpFitError      float64
 	IntermeetingN    int
-	// Perf is the engine-level performance digest (events dispatched,
-	// events/sec, peak queue depth, wall-clock).
+	// Perf is the engine-level performance digest: events dispatched,
+	// events/sec, peak queue depth, wall-clock, the contact scanner's
+	// pairs-checked/skipped/wakeups counters, and — when the sharded
+	// parallel scan is active (Scenario.Workers ≥ 2) — the shard
+	// windows/barriers/handoffs counters from DESIGN.md §13. The strategy
+	// counters describe how the scan did its work and legitimately differ
+	// across scan modes and worker counts; everything the simulation
+	// observes (Events, PeakQueue, the trace, the Summary) is identical.
 	Perf obs.RunStats
 }
 
@@ -174,6 +180,7 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 		ScanInterval:   sc.ScanInterval,
 		Ranges:         ranges,
 		Scan:           sc.ScanMode,
+		Workers:        sc.Workers,
 		RecordContacts: sc.RecordContacts,
 		Tracer:         bo.tracer,
 		Faults:         inj,
@@ -537,14 +544,18 @@ func (w *World) Run() (Result, error) {
 // RunStats returns the engine-level performance digest of the run so far.
 func (w *World) RunStats() obs.RunStats {
 	checked, skipped, wakeups := w.Manager.ScanStats()
+	windows, barriers, handoffs := w.Manager.ShardStats()
 	return obs.RunStats{
-		SimSeconds:   w.Engine.Now(),
-		Events:       w.Engine.Processed(),
-		PeakQueue:    w.Engine.PeakQueue(),
-		WallSeconds:  w.Engine.Wall().Seconds(),
-		PairsChecked: checked,
-		PairsSkipped: skipped,
-		Wakeups:      wakeups,
+		SimSeconds:    w.Engine.Now(),
+		Events:        w.Engine.Processed(),
+		PeakQueue:     w.Engine.PeakQueue(),
+		WallSeconds:   w.Engine.Wall().Seconds(),
+		PairsChecked:  checked,
+		PairsSkipped:  skipped,
+		Wakeups:       wakeups,
+		ShardWindows:  windows,
+		ShardBarriers: barriers,
+		ShardHandoffs: handoffs,
 	}
 }
 
