@@ -57,7 +57,10 @@ bench-smoke:
 	$(GO) run ./cmd/dtnbench -smoke -iters 2 -baseline $$tmp/smoke.json -max-regress 100000 -quiet && \
 	$(GO) run ./cmd/dtnbench -smoke -iters 2 -max-regress 100000 -quiet \
 		-baseline $$(ls BENCH_*.json | grep -v candidate | sort -t_ -k2 -n | tail -1) && \
+	$(GO) run ./cmd/dtnbench -cases scan100k -iters 2 -max-regress 100000 -quiet \
+		-baseline $$(ls BENCH_*.json | grep -v candidate | sort -t_ -k2 -n | tail -1) && \
 	$(GO) test -short -run 'TestGoldenTraceByteIdentical|TestReportByteStable|TestSmokeCaseMatchesGoldenCounters|TestMultiCoreCasesMatchSerialDigests|TestSmokeMCEngagesShardedScan' ./internal/bench/ && \
+	$(GO) test -run 'TestScan100kKineticScalesWithinBudget|TestCommittedScan100kPeakHeapWithinBudget' ./internal/bench/ && \
 	rm -rf $$tmp
 
 # Full regression suite (~1 h): write a candidate report and gate it against

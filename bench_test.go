@@ -90,6 +90,29 @@ func BenchmarkDenseScanNaive(b *testing.B) {
 	}
 }
 
+// BenchmarkDenseScanKinetic runs the densescan workload under the kinetic
+// per-node planner — the same event stream again, measuring where the
+// crossover between per-pair and per-node bookkeeping sits at 400 nodes
+// (PERFORMANCE.md §7 tabulates it).
+func BenchmarkDenseScanKinetic(b *testing.B) {
+	sc := bench.DenseScanScenario()
+	sc.ScanMode = "kinetic"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := sdsrp.Build(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScan100k measures the suite's large-fleet case: 100k nodes under
+// the kinetic scanner, the scale the lazy planner cannot represent at all.
+func BenchmarkScan100k(b *testing.B) { benchSuiteCase(b, "scan100k") }
+
 // Fig. 3: intermeeting-time distributions (both mobility scenarios).
 func BenchmarkFig3Intermeeting(b *testing.B) { benchExperiment(b, "fig3") }
 

@@ -55,7 +55,8 @@ func main() {
 		eventsOut        = flag.String("events", "", "write the structured lifecycle event log (JSONL) to this path (.gz = gzip)")
 		snapInterval     = flag.Float64("snapshot-interval", 0, "emit a snapshot event into the event log every N sim-seconds (0 = off; needs -events)")
 		profileOut       = flag.String("profile", "", "write a CPU profile of the run to this path")
-		scanMode         = flag.String("scan", "", "connectivity scan strategy: lazy (default) or naive; both are byte-identical")
+		scanMode         = flag.String("scan", "", "connectivity scan strategy: lazy (default), kinetic, or naive; all are byte-identical")
+		cellSize         = flag.Float64("cell-size", 0, "scan grid cell edge in metres (0 = radio range; must be >= range)")
 		workers          = flag.Int("workers", 0, "sharded parallel scan goroutines (0/1 = serial; traces are byte-identical at any count)")
 		maxEvents        = flag.Uint64("max-events", 0, "stop the run after this many engine events and report partial metrics (0 = unbounded)")
 	)
@@ -147,6 +148,9 @@ func main() {
 	}
 	if *scanMode != "" {
 		sc.ScanMode = *scanMode
+	}
+	if *cellSize > 0 {
+		sc.CellSize = *cellSize
 	}
 	if *workers > 0 {
 		sc.Workers = *workers
@@ -296,6 +300,11 @@ func main() {
 			res.Energy.TotalUsed, res.Energy.DeadNodes, res.Energy.MeanLevel, res.Energy.FirstDeath)
 	}
 	fmt.Printf("perf            %s\n", res.Perf)
+	if res.Perf.ScanFallback != "" {
+		// Stderr, not stdout: the summary above is parsed by dtntrace
+		// stats -check and must stay strategy-independent.
+		fmt.Fprintf(os.Stderr, "dtnsim: scan strategy fallback: %s\n", res.Perf.ScanFallback)
+	}
 	if *eventsOut != "" {
 		fmt.Printf("events          wrote %s\n", *eventsOut)
 	}

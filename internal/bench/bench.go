@@ -88,6 +88,12 @@ type Perf struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// EventsPerSec is the engine event throughput of the fastest iteration.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// PeakHeapBytes is the high-water HeapAlloc observed by a background
+	// sampler while the case ran, maximised across iterations — the
+	// memory-ceiling gate for large-fleet cases (sampled every few
+	// milliseconds, so short spikes between samples can be missed; the gate
+	// budgets leave headroom for that).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // CaseResult pairs a case's deterministic digest with its measurement.
@@ -177,9 +183,11 @@ func Measure(c Case, iters int) (Sim, Perf, error) {
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
+		stopSampler := sampleHeapPeak(&perf.PeakHeapBytes)
 		start := time.Now()
 		s, err := c.Run()
 		elapsed := time.Since(start)
+		stopSampler()
 		runtime.ReadMemStats(&after)
 		if err != nil {
 			return Sim{}, Perf{}, err
@@ -204,4 +212,41 @@ func Measure(c Case, iters int) (Sim, Perf, error) {
 		perf.EventsPerSec = float64(sim.Events) / (float64(perf.NsPerOp) / 1e9)
 	}
 	return sim, perf, nil
+}
+
+// sampleHeapPeak starts a background goroutine polling runtime.MemStats and
+// raising *peak to the highest HeapAlloc it observes. The returned stop
+// function takes one final reading, waits for the goroutine to exit, and
+// leaves *peak at the maximum across every call sharing it (Measure passes
+// the same pointer for all iterations). The sampler goroutine touches no
+// simulation state — the engine stays strictly single-threaded — and is
+// gone before Measure reads its post-run MemStats.
+func sampleHeapPeak(peak *uint64) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	raise := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > *peak {
+			*peak = ms.HeapAlloc
+		}
+	}
+	go func() {
+		defer close(exited)
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				raise()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+		raise()
+	}
 }

@@ -73,6 +73,37 @@ func DenseScanScenario() config.Scenario {
 	return sc
 }
 
+// Scan100kScenario is the kinetic-scanner scale workload: 100 000 nodes —
+// a fleet the lazy planner's triangular pair index cannot even represent
+// (it refuses at n ≥ 65536) — walking a 250 km square sparse enough that
+// nearly every node is parked nearly all the time. Traffic is disabled so
+// the measurement isolates contact detection, and the cell size is raised
+// to 500 m so cell deadlines span hundreds of ticks. The case doubles as
+// the suite's peak-memory gate (Perf.PeakHeapBytes): the kinetic planner's
+// state is ~45 B/node, so the whole run must fit a budget the per-pair
+// design would blow past by three orders of magnitude. PERFORMANCE.md §7
+// documents the cost model and the path from this case to 1M nodes.
+// Scan100kPeakHeapBudget is the memory ceiling the scan100k case is gated
+// against, both on fresh runs (TestScan100kKineticScalesWithinBudget) and on
+// the committed baseline (TestCommittedScan100kPeakHeapWithinBudget). The
+// observed peak is ~135 MB — hosts, models, and RNG substreams dominate; the
+// planner itself is ~45 B/node — so 256 MB leaves ~1.9× headroom for
+// allocator and GC variance without ever admitting a per-pair design (the
+// lazy sweep's arrays would want ~180 GB here).
+const Scan100kPeakHeapBudget = 256 << 20
+
+func Scan100kScenario() config.Scenario {
+	sc := config.RandomWaypoint()
+	sc.Name = "bench-scan100k"
+	sc.Nodes = 100_000
+	sc.Area = geo.NewRect(250_000, 250_000)
+	sc.Duration = 300
+	sc.GenIntervalLo = 0 // traffic-free: scanner cost only
+	sc.ScanMode = "kinetic"
+	sc.CellSize = 500
+	return sc
+}
+
 // MCWorkers is the worker count the multi-core (-mc) cases run at:
 // runtime.NumCPU(), floored at 2 so the sharded scan path is exercised even
 // on a single-core host (where the goroutines merely interleave). The -mc
@@ -109,6 +140,7 @@ func Suite() []Case {
 		scenarioCase("table3", "full Table III: 200-taxi EPFL substitute, 18000 s, SDSRP", config.EPFL),
 		scenarioCase("table3-mc", "Table III under the sharded parallel scan (workers=NumCPU)", withWorkers(config.EPFL, MCWorkers())),
 		scenarioCase("densescan", "400-node traffic-free RWP over 15×12 km: contact-scan cost in isolation", DenseScanScenario),
+		scenarioCase("scan100k", "100k-node traffic-free RWP over 250×250 km under the kinetic scanner (peak-memory gate)", Scan100kScenario),
 		experimentCase("fig8copies", "Fig. 8 a-c sweep: metrics vs initial copies (reduced scale)"),
 		experimentCase("fig8buffer", "Fig. 8 d-f sweep: metrics vs buffer size (reduced scale)"),
 		experimentCase("fig8rate", "Fig. 8 g-i sweep: metrics vs generation rate (reduced scale)"),

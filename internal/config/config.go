@@ -95,11 +95,21 @@ type Scenario struct {
 	ScanInterval float64 // connectivity scan period, s
 	// ScanMode selects the connectivity-scan strategy: "lazy" (the default
 	// when empty) skips pair checks the mobility speed bounds rule out;
-	// "naive" re-checks every candidate pair each tick. Both produce
-	// byte-identical event streams — the knob is an escape hatch for
-	// perf comparison and for custom mobility models whose MaxSpeed
-	// bound is not trusted.
+	// "kinetic" keeps per-node park deadlines in grid buckets, scaling to
+	// fleets the lazy pair index cannot hold (its O(n²) arrays refuse at
+	// 65536 nodes and fall back to kinetic); "naive" re-checks every
+	// candidate pair each tick. All three produce byte-identical event
+	// streams — the knob is an escape hatch for perf comparison and for
+	// custom mobility models whose MaxSpeed bound is not trusted.
 	ScanMode string
+	// CellSize overrides the spatial-hash cell edge (metres) used by the
+	// connectivity scan's grid. 0, the default, uses the largest radio
+	// range in the scenario — the smallest complete cell. Values below
+	// that range are rejected (a 3×3 neighbourhood would miss in-range
+	// pairs). Changing the cell size changes the grid's pair enumeration
+	// order, so traces are only comparable across runs that share a cell
+	// size.
+	CellSize float64
 	// Workers ≥ 2 runs the connectivity scan's sampling and candidate
 	// enumeration phases concurrently on that many spatially sharded
 	// goroutines (DESIGN.md §13), with every event committed serially at
@@ -275,9 +285,12 @@ func (s Scenario) Validate() error {
 		add("scan interval %v must be positive", s.ScanInterval)
 	}
 	switch s.ScanMode {
-	case "", "lazy", "naive":
+	case "", "lazy", "kinetic", "naive":
 	default:
-		add("scan mode %q unknown (want \"lazy\" or \"naive\")", s.ScanMode)
+		add("scan mode %q unknown (want \"lazy\", \"kinetic\" or \"naive\")", s.ScanMode)
+	}
+	if s.CellSize != 0 && s.CellSize < s.Range {
+		add("cell size %v must be 0 (auto) or >= range %v", s.CellSize, s.Range)
 	}
 	if s.Workers < 0 {
 		add("workers %d must be non-negative (0 or 1 = serial)", s.Workers)
@@ -341,6 +354,9 @@ func (s Scenario) Validate() error {
 			}
 			if g.BufferBytes > 0 && g.BufferBytes < maxMsg {
 				add("group %d buffer %dB cannot hold a %dB message", i, g.BufferBytes, maxMsg)
+			}
+			if s.CellSize != 0 && g.Range > s.CellSize {
+				add("group %d range %v exceeds cell size %v", i, g.Range, s.CellSize)
 			}
 		}
 		if total < 2 {

@@ -38,6 +38,45 @@ func NewGrid(area Rect, cell float64, n int) *Grid {
 	}
 }
 
+// CellSize returns the grid's cell edge length in metres.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Dims returns the grid's column and row counts.
+func (g *Grid) Dims() (cols, rows int) { return g.cols, g.rows }
+
+// CellIndex exposes the grid's cell mapping: the dense index of the cell
+// containing p, with out-of-area points clamped to the border cells. Two
+// structures that bucket by CellIndex of the same Grid agree exactly —
+// including every float-rounding decision — which is what lets the kinetic
+// scanner (internal/network) keep its own incremental buckets while staying
+// byte-compatible with this grid's Pairs enumeration.
+//
+// Performance contract: pure arithmetic, no allocation.
+func (g *Grid) CellIndex(p Point) int { return g.index(p) }
+
+// BoundaryDist returns the distance from p to the nearest edge of cell ci's
+// box (≤ 0 when p lies on the boundary or outside the box, which happens
+// for clamped out-of-area points). Callers using it as a containment margin
+// must subtract their own conservative slack.
+//
+// Performance contract: pure arithmetic (axis minima, no square roots), no
+// allocation.
+func (g *Grid) BoundaryDist(p Point, ci int) float64 {
+	lox := g.area.Min.X + float64(ci%g.cols)*g.cell
+	loy := g.area.Min.Y + float64(ci/g.cols)*g.cell
+	d := p.X - lox
+	if hi := lox + g.cell - p.X; hi < d {
+		d = hi
+	}
+	if dy := p.Y - loy; dy < d {
+		d = dy
+	}
+	if hi := loy + g.cell - p.Y; hi < d {
+		d = hi
+	}
+	return d
+}
+
 func (g *Grid) index(p Point) int {
 	cx := int((p.X - g.area.Min.X) / g.cell)
 	cy := int((p.Y - g.area.Min.Y) / g.cell)
@@ -80,19 +119,21 @@ func (g *Grid) Update(pos []Point) {
 // NewGrid — ids index into it). Queries then see just the subset: Pairs
 // enumerates pairs within it, in the deterministic order fixed by the
 // insertion sequence, so callers wanting the same order as Update must
-// pass ids in ascending order. Built for the sharded scan's per-stripe
-// grids (DESIGN.md §13), where each shard indexes its own node band plus
-// the neighbouring one.
+// pass ids in ascending order. Only the listed ids' cached positions are
+// refreshed — unlisted items keep stale coordinates, which subset queries
+// never read. Built for the sharded scan's per-stripe grids (DESIGN.md
+// §13), where each shard indexes its own node band plus the neighbouring
+// one.
 //
-// Performance contract: identical reuse behaviour to Update — warm buckets
-// and occupied list mean a steady-state rebuild allocates nothing.
+// Performance contract: O(len(ids)) regardless of n, with the same bucket
+// reuse as Update — a steady-state rebuild allocates nothing.
 func (g *Grid) UpdateSubset(pos []Point, ids []int32) {
 	for _, ci := range g.occupied {
 		g.cells[ci] = g.cells[ci][:0]
 	}
 	g.occupied = g.occupied[:0]
-	copy(g.pos, pos)
 	for _, id := range ids {
+		g.pos[id] = pos[id]
 		ci := g.index(pos[id])
 		if len(g.cells[ci]) == 0 {
 			g.occupied = append(g.occupied, int32(ci))

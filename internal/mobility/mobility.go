@@ -28,19 +28,22 @@ type Model interface {
 	//
 	// # Performance contract
 	//
-	// This bound is what lets the lazy contact scanner (internal/network,
-	// scan=lazy) park a far-apart pair and skip its distance checks until
-	// the tick at which physics first allows the pair to close to radio
-	// range. The bound must therefore hold for the model's entire
-	// lifetime and must never under-report: a too-small value silently
-	// breaks contact detection (missed link-ups), while a too-large value
-	// only costs earlier wake-ups. Models with a configured speed range
-	// return the range's upper cap; Static returns 0 (never checked
-	// against a moving peer beyond the one parked deadline); trace
-	// playback (Path) returns the steepest segment speed measured once at
-	// construction. A model free to teleport may return +Inf, which
-	// disables parking for its pairs. The value must be constant across
-	// the model's lifetime — the scanner reads it once at startup.
+	// This bound is what lets the planning contact scanners
+	// (internal/network) skip distance checks physics rules out: the lazy
+	// sweep (scan=lazy) parks a far-apart pair until the tick at which
+	// the pair could first close to radio range, and the kinetic planner
+	// (scan=kinetic) additionally parks a whole node for as long as the
+	// bound proves it stays inside its grid bucket. The bound must
+	// therefore hold for the model's entire lifetime and must never
+	// under-report: a too-small value silently breaks contact detection
+	// (missed link-ups), while a too-large value only costs earlier
+	// wake-ups. Models with a configured speed range return the range's
+	// upper cap; Static returns 0 (never checked against a moving peer
+	// beyond the one parked deadline); trace playback (Path) returns the
+	// steepest segment speed measured once at construction. A model free
+	// to teleport may return +Inf, which disables parking for its pairs
+	// and nodes. The value must be constant across the model's lifetime —
+	// the scanners read it once at startup.
 	MaxSpeed() float64
 }
 

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"sdsrp/internal/fault"
 	"sdsrp/internal/geo"
@@ -62,14 +63,25 @@ type Config struct {
 	// when empty) parks pairs that physics rules out of radio range —
 	// using each mobility model's MaxSpeed bound — in a wake wheel and
 	// skips their distance checks until the earliest tick they could
-	// close; ScanNaive re-checks every grid-candidate pair each tick.
-	// Both emit byte-identical event streams. Lazy mode keeps per-pair
-	// state — O(n²) arrays (~29 bytes per unordered pair, ≈1.4 GB at
-	// n = 10000) versus naive's O(n) grid — and fleets large enough to
-	// overflow its int32 pair index (n ≥ 65536) silently fall back to
-	// ScanNaive; pick ScanNaive explicitly when memory is tighter than
-	// scan time.
+	// close; ScanKinetic keeps the same motion-bounded parking but per
+	// node (kinetic.go): nodes park against their grid-bucket
+	// neighbourhood, so state is O(n) instead of lazy's O(n²) pair
+	// arrays (~29 bytes per unordered pair, ≈1.4 GB at n = 10000);
+	// ScanNaive re-checks every grid-candidate pair each tick. All three
+	// emit byte-identical event streams. Fleets large enough to overflow
+	// lazy's int32 pair index (n ≥ 65536) fall back to ScanKinetic — the
+	// fallback is reported by FallbackReason. Pick ScanKinetic explicitly
+	// for large fleets, ScanNaive when memory is tighter than scan time.
 	Scan string
+	// CellSize overrides the scan grid's bucket edge length in metres
+	// (0 uses the largest radio range, the minimum legal value — smaller
+	// buckets would let the 3×3 neighbourhood miss contacts). Larger
+	// buckets trade candidate-set tightness for fewer kinetic wheel wakes
+	// and a smaller cell table over sparse areas; contact semantics are
+	// unchanged, but the grid's enumeration order (and therefore
+	// same-tick link-up order) differs between cell sizes, so traces are
+	// only comparable across runs using the same value.
+	CellSize float64
 	// Workers enables the sharded parallel scan (parscan.go, DESIGN.md
 	// §13) when ≥ 2: the area is cut into Workers vertical stripes whose
 	// position sampling and candidate-pair enumeration run concurrently
@@ -85,8 +97,9 @@ type Config struct {
 
 // Scan strategy names accepted by Config.Scan.
 const (
-	ScanLazy  = "lazy"
-	ScanNaive = "naive"
+	ScanLazy    = "lazy"
+	ScanNaive   = "naive"
+	ScanKinetic = "kinetic"
 )
 
 // pairKey identifies an unordered host pair, low id first.
@@ -171,11 +184,19 @@ type Manager struct {
 	// until the nodes genuinely separate (nil unless flapping is enabled).
 	flapped map[pairKey]bool
 
-	// sweep is the lazy scan planner (nil in naive and sharded modes).
+	// sweep is the lazy scan planner (nil in naive, kinetic, and sharded
+	// modes).
 	sweep *sweep
+	// kin is the kinetic per-node scan planner (nil unless ScanKinetic,
+	// or unless the lazy planner's pair index overflowed and the run fell
+	// back here).
+	kin *kinetic
 	// par is the sharded parallel scan state (nil unless Config.Workers
 	// ≥ 2 and the scenario admits a conservative lookahead window).
 	par *parScan
+	// fallback records, in first-occurrence order, every scan-strategy
+	// fallback the run took (see FallbackReason).
+	fallback []string
 	// Sharded-scan counters (see ShardStats).
 	shardWindows  uint64
 	shardBarriers uint64
@@ -211,6 +232,13 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 			}
 		}
 	}
+	cell := maxRange
+	if cfg.CellSize != 0 {
+		if cfg.CellSize < maxRange {
+			return nil, fmt.Errorf("network: cell size %v is below the largest radio range %v (a 3×3 bucket neighbourhood would miss contacts)", cfg.CellSize, maxRange)
+		}
+		cell = cfg.CellSize
+	}
 	m := &Manager{
 		eng:       eng,
 		cfg:       cfg,
@@ -218,7 +246,7 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 		models:    models,
 		ranges:    cfg.Ranges,
 		maxRange:  maxRange,
-		grid:      geo.NewGrid(cfg.Area, maxRange, n),
+		grid:      geo.NewGrid(cfg.Area, cell, n),
 		links:     make(map[pairKey]*link),
 		neighbors: make([]map[int]*link, n),
 		busy:      make([]bool, n),
@@ -240,26 +268,62 @@ func NewManager(eng *sim.Engine, cfg Config, hosts []*routing.Host, models []mob
 		m.flapped = make(map[pairKey]bool)
 	}
 	switch cfg.Scan {
-	case "", ScanLazy, ScanNaive:
+	case "", ScanLazy, ScanNaive, ScanKinetic:
 	default:
-		return nil, fmt.Errorf("network: unknown scan strategy %q (want %q or %q)", cfg.Scan, ScanLazy, ScanNaive)
+		return nil, fmt.Errorf("network: unknown scan strategy %q (want %q, %q, or %q)", cfg.Scan, ScanLazy, ScanNaive, ScanKinetic)
 	}
 	// The sharded parallel scan supersedes the serial strategies when it
 	// can construct a conservative window; otherwise the run falls back to
-	// the strategy Scan names (both orderings emit identical traces).
+	// the strategy Scan names (all orderings emit identical traces).
 	if cfg.Workers > 1 {
 		m.par = newParScan(m, cfg.Workers)
 	}
-	if m.par == nil && cfg.Scan != ScanNaive {
-		m.sweep = newSweep(m)
+	if m.par == nil {
+		switch cfg.Scan {
+		case ScanNaive:
+		case ScanKinetic:
+			m.kin = newKinetic(m)
+		default: // "" or ScanLazy
+			if m.sweep = newSweep(m); m.sweep == nil {
+				// The triangular pair index would overflow int32
+				// (n ≥ 65536); the kinetic planner's O(n) state is the
+				// right tool there and emits the identical stream.
+				m.noteFallback("lazy:pair-index-overflow->kinetic")
+				m.kin = newKinetic(m)
+			}
+		}
 	}
 	return m, nil
 }
 
+// noteFallback records a scan-strategy fallback reason once.
+func (m *Manager) noteFallback(reason string) {
+	for _, r := range m.fallback {
+		if r == reason {
+			return
+		}
+	}
+	m.fallback = append(m.fallback, reason)
+}
+
+// FallbackReason returns the comma-joined, first-occurrence-ordered list of
+// scan-strategy fallbacks this run took, or "" when every configured
+// strategy held. Reasons cover the lazy planner's pair-index overflow
+// (n ≥ 65536 → kinetic), every newParScan refusal (the serial fallback that
+// previously signalled only implicitly via ShardWindows == 0), and the lazy
+// and kinetic planners' load-monitor retirements to the naive scan. Every
+// fallback is byte-identity-preserving; this string exists so capacity
+// planning never has to infer the active strategy from counters.
+func (m *Manager) FallbackReason() string {
+	return strings.Join(m.fallback, ",")
+}
+
 // ScanStats reports the scan-strategy work counters: distance-predicate
-// evaluations performed, pair-ticks skipped because the pair was parked in
-// the wake wheel or permanently retired (always 0 in naive mode), and
-// pairs woken from the wheel.
+// evaluations performed, ticks of work skipped by parking (pair-ticks under
+// the lazy planner, parked node-ticks under the kinetic planner; always 0
+// in naive mode), and wheel wakeups (pairs for lazy, nodes for kinetic).
+// These describe strategy work, not simulation outcome — they differ across
+// strategies while the event trace stays byte-identical.
 func (m *Manager) ScanStats() (checked, skipped, wakeups uint64) {
 	return m.pairsChecked, m.pairsSkipped, m.wakeups
 }
@@ -315,6 +379,10 @@ func (m *Manager) Scan(now float64) {
 	}
 	if m.sweep != nil {
 		m.scanLazy(now)
+		return
+	}
+	if m.kin != nil {
+		m.scanKinetic(now)
 		return
 	}
 	m.scanNaive(now)
@@ -472,6 +540,11 @@ func (m *Manager) linkDown(k pairKey, now float64, freed []int) []int {
 		// genuinely far. This conservative wake is what keeps fault
 		// interactions exact.
 		m.sweep.onLinkDown(k)
+	}
+	if m.kin != nil {
+		// Same discipline per node: both endpoints wake and re-park next
+		// tick if their neighbourhoods are genuinely quiet.
+		m.kin.onLinkDown(k)
 	}
 	m.lastEnd[k] = now
 	if m.tracer != nil {

@@ -20,13 +20,19 @@ package network
 //                       `stripes` vertical bands, and W is the conservative
 //                       lookahead shard.WindowTicks(band−maxRange, c_max,
 //                       interval) — nodes assigned to non-adjacent bands
-//                       cannot meet within the window.
+//                       cannot meet within the window. The per-shard id
+//                       lists are rebuilt here too, once per window: the
+//                       assignment is frozen between window starts, so
+//                       bucket membership is reusable for W ticks.
 //   Phase B (parallel)  shard s indexes the nodes of bands s and s+1 in a
-//                       private grid and proposes its owned candidate
-//                       contacts: pairs within maxRange whose lower band is
-//                       s. Cross-band pairs are counted as hand-offs. All
-//                       shared state touched here (positions, liveness,
-//                       ranges) is read-only until the barrier.
+//                       private grid covering just those two bands
+//                       (UpdateSubset over the window's frozen id list —
+//                       O(band) work, no full-fleet rescan) and proposes
+//                       its owned candidate contacts: pairs within maxRange
+//                       whose lower band is s. Cross-band pairs are counted
+//                       as hand-offs. All shared state touched here
+//                       (positions, liveness, ranges) is read-only until
+//                       the barrier.
 //   barrier
 //   merge (serial)      link-downs tear down in the canonical sorted-key
 //                       order (same code path as the serial scanners);
@@ -84,6 +90,7 @@ type parScan struct {
 func newParScan(m *Manager, workers int) *parScan {
 	n := len(m.hosts)
 	if workers < 2 || n < 2 {
+		m.noteFallback("parscan:degenerate-input->serial")
 		return nil
 	}
 	cmax := 0.0
@@ -93,6 +100,11 @@ func newParScan(m *Manager, workers int) *parScan {
 	bandW := m.cfg.Area.W() / float64(workers)
 	window := shard.WindowTicks(bandW-m.maxRange, cmax, m.cfg.ScanInterval)
 	if window < 1 {
+		if math.IsInf(cmax, 1) {
+			m.noteFallback("parscan:unbounded-max-speed->serial")
+		} else {
+			m.noteFallback("parscan:no-conservative-window->serial")
+		}
 		return nil
 	}
 	ps := &parScan{
@@ -111,7 +123,23 @@ func newParScan(m *Manager, workers int) *parScan {
 		handoff: make([]uint64, workers),
 	}
 	for s := range ps.grids {
-		ps.grids[s] = geo.NewGrid(m.cfg.Area, m.maxRange, n)
+		// Each shard's grid covers only its own two bands, not the whole
+		// area: the cell table scales with the band, and clamping at the
+		// sub-rect edges preserves candidate completeness exactly as it
+		// does on the full grid (an in-range pair's clamped positions still
+		// land in the same or adjacent columns). Enumeration order inside a
+		// shard never reaches the event stream — the serial merge re-derives
+		// the emission order — so the sub-rect is unobservable.
+		lo := ps.minX + float64(s)*bandW
+		hi := lo + 2*bandW
+		if hi > m.cfg.Area.Max.X {
+			hi = m.cfg.Area.Max.X
+		}
+		band := geo.Rect{
+			Min: geo.Point{X: lo, Y: m.cfg.Area.Min.Y},
+			Max: geo.Point{X: hi, Y: m.cfg.Area.Max.Y},
+		}
+		ps.grids[s] = geo.NewGrid(band, m.grid.CellSize(), n)
 	}
 	return ps
 }
@@ -146,6 +174,9 @@ func (m *Manager) scanSharded(now float64) {
 	// conservative for the next `window` ticks.
 	if ps.tick == 0 {
 		m.shardWindows++
+		for s := range ps.ids {
+			ps.ids[s] = ps.ids[s][:0]
+		}
 		for i := 0; i < n; i++ {
 			b := int32((m.positions[i].X - ps.minX) / ps.bandW)
 			if b < 0 {
@@ -154,6 +185,16 @@ func (m *Manager) scanSharded(now float64) {
 				b = int32(ps.stripes) - 1
 			}
 			ps.stripe[i] = b
+			// Shard s indexes bands s and s+1, so a node in band b belongs
+			// to shards b−1 and b. Built once per window — the assignment
+			// is frozen until the next window start, so the previous
+			// per-tick O(n·workers) re-collection was pure waste. The
+			// ascending append order preserves UpdateSubset's enumeration
+			// order exactly.
+			if b > 0 {
+				ps.ids[b-1] = append(ps.ids[b-1], int32(i))
+			}
+			ps.ids[b] = append(ps.ids[b], int32(i))
 		}
 	}
 	ps.tick++
@@ -165,15 +206,8 @@ func (m *Manager) scanSharded(now float64) {
 	// are confined to slot s of the per-shard slices; reads (positions,
 	// stripe, energy, churn, ranges) are frozen until the barrier.
 	ps.pool.Run(ps.stripes, func(s int) {
-		ids := ps.ids[s][:0]
-		for i := 0; i < n; i++ {
-			if b := ps.stripe[i]; b == int32(s) || b == int32(s)+1 {
-				ids = append(ids, int32(i))
-			}
-		}
-		ps.ids[s] = ids
 		g := ps.grids[s]
-		g.UpdateSubset(m.positions, ids)
+		g.UpdateSubset(m.positions, ps.ids[s])
 		ps.pairs[s] = g.Pairs(m.maxRange, ps.pairs[s][:0])
 		cand := ps.cand[s][:0]
 		for _, p := range ps.pairs[s] {

@@ -1,8 +1,6 @@
 package network
 
 import (
-	"math"
-
 	"sdsrp/internal/geo"
 )
 
@@ -128,13 +126,15 @@ type sweep struct {
 
 // newSweep builds the planner with every non-linked pair near: the first
 // tick is a full O(n²) pass that parks everything physics allows. It
-// returns nil — falling the run back to scanNaive — when the triangular
-// pair index would overflow the int32 bookkeeping (n ≥ 65536): beyond that
-// the six O(n²) per-pair arrays are a memory liability anyway, and the
-// O(n) naive grid is the right tool.
+// returns nil — falling the run back to the kinetic planner — at n ≥ 65536:
+// the triangular pair index would overflow the int32 bookkeeping one node
+// later (the check is on n, not the pair count, because at exactly 65536
+// nodes the ~2.1 G pairs still "fit" int32 while the six per-pair arrays
+// would ask for ~78 GB), and the kinetic scanner's O(n) state is the right
+// tool well before that.
 func newSweep(m *Manager) *sweep {
 	n := len(m.hosts)
-	if int64(n)*int64(n-1)/2 > math.MaxInt32 {
+	if n >= 65536 {
 		return nil
 	}
 	pairs := n * (n - 1) / 2
@@ -398,6 +398,7 @@ func (m *Manager) scanLazy(now float64) {
 	if s.tick%loadWindow == 0 {
 		if s.windowChecked > loadWindow*uint64(s.n) {
 			m.sweep = nil
+			m.noteFallback("lazy:load-monitor->naive")
 		}
 		s.windowChecked = 0
 	}

@@ -232,10 +232,11 @@ type RunStats struct {
 	// WallSeconds is the real time spent inside the engine run loop.
 	WallSeconds float64
 	// PairsChecked counts the contact scanner's distance-predicate
-	// evaluations; PairsSkipped counts pair-ticks the lazy scanner left
-	// unchecked because the pair was parked in its wake wheel or
-	// permanently retired (always 0 in naive mode); Wakeups counts pairs
-	// woken from the wheel. All zero in contact-trace-driven runs, which
+	// evaluations; PairsSkipped counts work the scan strategy proved
+	// unnecessary — pair-ticks parked in the lazy scanner's wake wheel or
+	// permanently retired, or node-ticks parked by the kinetic scanner
+	// (always 0 in naive mode); Wakeups counts entries woken from the
+	// strategy's wake wheel. All zero in contact-trace-driven runs, which
 	// have no scanner.
 	PairsChecked uint64
 	PairsSkipped uint64
@@ -255,6 +256,12 @@ type RunStats struct {
 	ShardWindows  uint64
 	ShardBarriers uint64
 	ShardHandoffs uint64
+	// ScanFallback records every scan-strategy substitution the run made,
+	// comma-joined in occurrence order (e.g.
+	// "lazy:pair-index-overflow->kinetic"). Empty when the configured
+	// strategy ran to completion. Fallbacks never change the event trace —
+	// every strategy is byte-identical — only the performance profile.
+	ScanFallback string
 }
 
 // EventsPerSec returns the dispatch throughput (0 when no wall time was
@@ -279,6 +286,9 @@ func (r RunStats) String() string {
 	if r.ShardWindows > 0 || r.ShardBarriers > 0 {
 		s += fmt.Sprintf(" shard-windows=%d shard-barriers=%d shard-handoffs=%d",
 			r.ShardWindows, r.ShardBarriers, r.ShardHandoffs)
+	}
+	if r.ScanFallback != "" {
+		s += " scan-fallback=" + r.ScanFallback
 	}
 	return s
 }

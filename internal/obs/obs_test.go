@@ -250,4 +250,11 @@ func TestRunStatsString(t *testing.T) {
 	if (RunStats{}).EventsPerSec() != 0 {
 		t.Error("zero wall should give 0 events/sec")
 	}
+	if strings.Contains(s, "scan-fallback") {
+		t.Errorf("String() = %q mentions scan-fallback without one recorded", s)
+	}
+	r.ScanFallback = "lazy:pair-index-overflow->kinetic"
+	if s := r.String(); !strings.Contains(s, "scan-fallback=lazy:pair-index-overflow->kinetic") {
+		t.Errorf("String() = %q missing the fallback segment", s)
+	}
 }

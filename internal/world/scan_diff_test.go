@@ -49,43 +49,44 @@ func runScan(t *testing.T, sc config.Scenario, mode string) ([]byte, Result, []n
 	return buf.Bytes(), res, w.Manager.ContactLog()
 }
 
-// assertScanModesAgree runs sc under both scanners and fails on the first
-// diverging trace line.
-func assertScanModesAgree(t *testing.T, sc config.Scenario) {
+// assertScanModesAgree runs sc under the naive scanner and the given mode
+// and fails on the first diverging trace line.
+func assertScanModesAgree(t *testing.T, sc config.Scenario, mode string) {
 	t.Helper()
 	naive, resN, logN := runScan(t, sc, "naive")
-	lazy, resL, logL := runScan(t, sc, "lazy")
-	if !bytes.Equal(naive, lazy) {
+	other, resO, logO := runScan(t, sc, mode)
+	if !bytes.Equal(naive, other) {
 		nl := bytes.Split(naive, []byte("\n"))
-		ll := bytes.Split(lazy, []byte("\n"))
+		ol := bytes.Split(other, []byte("\n"))
 		n := len(nl)
-		if len(ll) < n {
-			n = len(ll)
+		if len(ol) < n {
+			n = len(ol)
 		}
 		for i := 0; i < n; i++ {
-			if !bytes.Equal(nl[i], ll[i]) {
-				t.Fatalf("scan modes diverge at trace line %d:\n  naive: %s\n  lazy:  %s", i+1, nl[i], ll[i])
+			if !bytes.Equal(nl[i], ol[i]) {
+				t.Fatalf("scan modes diverge at trace line %d:\n  naive: %s\n  %s: %s", i+1, nl[i], mode, ol[i])
 			}
 		}
-		t.Fatalf("trace length differs: naive %d lines, lazy %d", len(nl), len(ll))
+		t.Fatalf("trace length differs: naive %d lines, %s %d", len(nl), mode, len(ol))
 	}
-	if resN.Summary != resL.Summary {
-		t.Fatalf("summaries diverge:\nnaive: %+v\nlazy:  %+v", resN.Summary, resL.Summary)
+	if resN.Summary != resO.Summary {
+		t.Fatalf("summaries diverge:\nnaive: %+v\n%s: %+v", resN.Summary, mode, resO.Summary)
 	}
-	if resN.Contacts != resL.Contacts || resN.MeanContactDuration != resL.MeanContactDuration {
-		t.Fatalf("contact digests diverge: naive (%d, %v) lazy (%d, %v)",
-			resN.Contacts, resN.MeanContactDuration, resL.Contacts, resL.MeanContactDuration)
+	if resN.Contacts != resO.Contacts || resN.MeanContactDuration != resO.MeanContactDuration {
+		t.Fatalf("contact digests diverge: naive (%d, %v) %s (%d, %v)",
+			resN.Contacts, resN.MeanContactDuration, mode, resO.Contacts, resO.MeanContactDuration)
 	}
-	if !reflect.DeepEqual(logN, logL) {
-		t.Fatalf("recorded contact logs diverge: naive %d entries, lazy %d", len(logN), len(logL))
+	if !reflect.DeepEqual(logN, logO) {
+		t.Fatalf("recorded contact logs diverge: naive %d entries, %s %d", len(logN), mode, len(logO))
 	}
-	// The lazy scanner must actually have parked pairs on these scenarios
-	// (otherwise the test only proves naive == naive). The raw checked
+	// The planner under test must actually have skipped work on these
+	// scenarios (otherwise the test only proves naive == naive): pair-ticks
+	// parked for lazy, node-ticks parked for kinetic. The raw checked
 	// counters are NOT comparable across modes — naive's count is already
-	// grid-prefiltered while lazy pays the full near set until parks kick
-	// in — so the ns/op claim lives in the bench suite, not here.
-	if resL.Perf.PairsSkipped == 0 {
-		t.Errorf("lazy run skipped no pair checks — planner inert?")
+	// grid-prefiltered while the planners pay different candidate sets —
+	// so the ns/op claim lives in the bench suite, not here.
+	if resO.Perf.PairsSkipped == 0 {
+		t.Errorf("%s run skipped no pair checks — planner inert?", mode)
 	}
 }
 
@@ -123,6 +124,12 @@ func diffFamilies() map[string]func() config.Scenario {
 			sc := diffBase()
 			sc.Mobility = config.Mobility{Kind: config.MobilityMapGrid,
 				SpeedLo: 1, SpeedHi: 4, MapCols: 5, MapRows: 4, MapSpacing: 300}
+			// Non-default cell size, for two reasons: it runs the whole
+			// scanner matrix at an overridden CellSize, and it breaks the
+			// degenerate alignment where the 300 m road pitch is a multiple
+			// of the 100 m default cell — roads sitting exactly on bucket
+			// boundaries pin every kinetic cell deadline at zero.
+			sc.CellSize = 130
 			return sc
 		},
 		"groups-static-relays-per-node-ranges": func() config.Scenario {
@@ -182,8 +189,62 @@ func TestLazyScanMatchesNaive(t *testing.T) {
 			sc.Name = fmt.Sprintf("diff-%s-%d", name, seed)
 			t.Run(sc.Name, func(t *testing.T) {
 				t.Parallel()
-				assertScanModesAgree(t, sc)
+				assertScanModesAgree(t, sc, "lazy")
 			})
 		}
+	}
+}
+
+// TestKineticScanMatchesNaive runs the same differential matrix against the
+// kinetic scanner: the grid-bucketed per-node planner must emit the naive
+// scanner's event stream byte for byte on every family and seed.
+func TestKineticScanMatchesNaive(t *testing.T) {
+	for name, mk := range diffFamilies() {
+		for _, seed := range []uint64{1, 2, 3} {
+			sc := mk()
+			sc.Seed = seed
+			sc.Name = fmt.Sprintf("kin-%s-%d", name, seed)
+			t.Run(sc.Name, func(t *testing.T) {
+				t.Parallel()
+				assertScanModesAgree(t, sc, "kinetic")
+			})
+		}
+	}
+}
+
+// TestLazyOverflowFallsBackToKinetic pins the large-fleet behaviour: at
+// 65536 nodes the lazy scanner's triangular pair index would cost gigabytes,
+// so newSweep refuses and the Manager substitutes the kinetic planner,
+// recording the fallback reason. The run itself must still be byte-identical
+// to an explicit kinetic run — proving the substitution changes only the
+// perf profile. A naive cross-check at this n is far too slow for the
+// suite; kinetic-vs-naive identity is covered by the matrix above plus the
+// strategy-blind trace machinery.
+func TestLazyOverflowFallsBackToKinetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65536-node smoke is a few seconds; skipped in -short")
+	}
+	sc := config.RandomWaypoint()
+	sc.Nodes = 65536
+	sc.Area = geo.NewRect(200000, 200000)
+	sc.Duration = 60
+	sc.GenIntervalLo = 0 // traffic-free: this pins scanner behaviour only
+	sc.Name = "lazy-overflow"
+	lazyTrace, resLazy, _ := runScan(t, sc, "lazy")
+	if want := "lazy:pair-index-overflow->kinetic"; resLazy.Perf.ScanFallback != want {
+		t.Fatalf("fallback reason = %q, want %q", resLazy.Perf.ScanFallback, want)
+	}
+	kinTrace, resKin, _ := runScan(t, sc, "kinetic")
+	if resKin.Perf.ScanFallback != "" {
+		t.Fatalf("explicit kinetic run recorded fallback %q", resKin.Perf.ScanFallback)
+	}
+	if resKin.Perf.PairsSkipped == 0 {
+		t.Fatalf("kinetic planner parked no node-ticks at 65536 nodes")
+	}
+	if !bytes.Equal(lazyTrace, kinTrace) {
+		t.Fatalf("overflow-fallback trace differs from explicit kinetic trace")
+	}
+	if resLazy.Summary != resKin.Summary {
+		t.Fatalf("summaries diverge:\nfallback: %+v\nkinetic:  %+v", resLazy.Summary, resKin.Summary)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"sdsrp/internal/config"
@@ -127,7 +128,8 @@ func TestWorkerCountsMatchSerial(t *testing.T) {
 // TestWorkersFallbackIsExact pins the documented fallback: a worker count
 // whose stripes are too narrow for the fleet (or any scenario without a
 // conservative window) must run serially — zero shard counters — and still
-// match the serial trace byte for byte.
+// match the serial trace byte for byte, now with the refusal recorded in
+// the fallback-reason string.
 func TestWorkersFallbackIsExact(t *testing.T) {
 	sc := diffBase()
 	sc.Seed = 7
@@ -139,10 +141,64 @@ func TestWorkersFallbackIsExact(t *testing.T) {
 	if resP.Perf.ShardWindows != 0 {
 		t.Fatalf("expected serial fallback at 64 workers, got %d shard windows", resP.Perf.ShardWindows)
 	}
+	if want := "parscan:no-conservative-window->serial"; resP.Perf.ScanFallback != want {
+		t.Fatalf("fallback reason = %q, want %q", resP.Perf.ScanFallback, want)
+	}
+	if resS.Perf.ScanFallback != "" {
+		t.Fatalf("serial run recorded a fallback: %q", resS.Perf.ScanFallback)
+	}
 	if !bytes.Equal(serial, par) {
 		t.Fatal("fallback trace diverges from serial")
 	}
 	if !reflect.DeepEqual(resS.Summary, resP.Summary) {
+		t.Fatalf("fallback summary diverges:\n%+v\n%+v", resS.Summary, resP.Summary)
+	}
+}
+
+// TestWorkersWithKineticConfigured closes the strategy matrix's last edge:
+// ScanMode=kinetic with Workers ≥ 2. Where the sharded scan engages, the
+// configured serial mode is bypassed; where it refuses (64 stripes over a
+// 1500 m area leave no window), the run must land on the kinetic planner —
+// not lazy — and still match the serial naive trace byte for byte.
+func TestWorkersWithKineticConfigured(t *testing.T) {
+	for name, mk := range diffFamilies() {
+		sc := mk()
+		sc.Seed = 1
+		sc.ScanMode = "kinetic"
+		sc.Name = fmt.Sprintf("wkin-%s", name)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			serial, resS := runWorkers(t, sc, 1)
+			par, resP := runWorkers(t, sc, 2)
+			if !bytes.Equal(serial, par) {
+				t.Fatal("workers=2 kinetic-configured trace diverges from serial kinetic")
+			}
+			if resS.Summary != resP.Summary {
+				t.Fatalf("summaries diverge:\nserial:   %+v\nparallel: %+v", resS.Summary, resP.Summary)
+			}
+		})
+	}
+	// Forced refusal: the parscan fallback must honour the configured
+	// kinetic mode (PairsSkipped counts parked node-ticks only there).
+	sc := diffBase()
+	sc.Seed = 7
+	sc.ScanMode = "kinetic"
+	sc.Name = "wkin-fallback"
+	serial, resS := runWorkers(t, sc, 1)
+	par, resP := runWorkers(t, sc, 64)
+	// Prefix, not equality: on this small dense base the kinetic planner may
+	// legitimately retire itself later via its load monitor, appending a
+	// second reason.
+	if want := "parscan:no-conservative-window->serial"; !strings.HasPrefix(resP.Perf.ScanFallback, want) {
+		t.Fatalf("fallback reason = %q, want prefix %q", resP.Perf.ScanFallback, want)
+	}
+	if resP.Perf.PairsSkipped == 0 {
+		t.Fatal("parscan fallback did not engage the kinetic planner")
+	}
+	if !bytes.Equal(serial, par) {
+		t.Fatal("kinetic fallback trace diverges from serial kinetic")
+	}
+	if resS.Summary != resP.Summary {
 		t.Fatalf("fallback summary diverges:\n%+v\n%+v", resS.Summary, resP.Summary)
 	}
 }

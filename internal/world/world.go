@@ -180,6 +180,7 @@ func Build(sc config.Scenario, opts ...BuildOption) (*World, error) {
 		ScanInterval:   sc.ScanInterval,
 		Ranges:         ranges,
 		Scan:           sc.ScanMode,
+		CellSize:       sc.CellSize,
 		Workers:        sc.Workers,
 		RecordContacts: sc.RecordContacts,
 		Tracer:         bo.tracer,
@@ -556,6 +557,7 @@ func (w *World) RunStats() obs.RunStats {
 		ShardWindows:  windows,
 		ShardBarriers: barriers,
 		ShardHandoffs: handoffs,
+		ScanFallback:  w.Manager.FallbackReason(),
 	}
 }
 
